@@ -1,0 +1,40 @@
+"""Figure 3: maintaining stand-alone views (with and without aggregation).
+
+Paper claims reproduced here (§7.2, "Maintaining Individual Views"):
+"significant benefits are to be had, especially at low update percentages,
+but there are benefits even at relatively high update percentages."
+"""
+
+from repro.bench.experiments import run_fig3a, run_fig3b
+from repro.bench.reporting import format_series
+
+from benchmarks.helpers import (
+    BENCH_UPDATE_PERCENTAGES,
+    assert_benefit_shrinks_with_updates,
+    assert_costs_nondecreasing,
+    assert_greedy_dominates,
+    write_result,
+)
+
+
+def test_fig3a_standalone_join_view(benchmark):
+    """Figure 3(a): join of 4 relations, no aggregation."""
+    series = benchmark.pedantic(
+        run_fig3a, kwargs={"update_percentages": BENCH_UPDATE_PERCENTAGES}, rounds=1, iterations=1
+    )
+    write_result("fig3a", format_series(series))
+    assert_greedy_dominates(series)
+    assert_costs_nondecreasing(series)
+    # Greedy wins clearly at the 1% update point.
+    assert_benefit_shrinks_with_updates(series, minimum_low_ratio=2.0)
+
+
+def test_fig3b_standalone_aggregate_view(benchmark):
+    """Figure 3(b): aggregation over the same join."""
+    series = benchmark.pedantic(
+        run_fig3b, kwargs={"update_percentages": BENCH_UPDATE_PERCENTAGES}, rounds=1, iterations=1
+    )
+    write_result("fig3b", format_series(series))
+    assert_greedy_dominates(series)
+    assert_costs_nondecreasing(series)
+    assert_benefit_shrinks_with_updates(series, minimum_low_ratio=1.5)

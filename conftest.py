@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make the ``src`` layout importable without installation.
+
+The canonical way to use the package is ``pip install -e .``; this shim only
+exists so the test and benchmark suites also run in fully offline
+environments where editable installs are unavailable (pip cannot fetch the
+``wheel`` build dependency there).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,51 @@
+"""Index selection for view maintenance (the Figure 5(b) scenario).
+
+The paper observes that when no indexes exist initially, its algorithm
+selects all the indexes view maintenance needs, so the final plan cost is
+essentially the same as when primary-key indexes were there from the start.
+This script demonstrates that behaviour on the 10-view workload and prints
+which indexes were chosen.
+
+Run with:  python examples/index_selection.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.maintenance import UpdateSpec, ViewMaintenanceOptimizer
+from repro.workloads import queries, tpcd
+
+
+def run(with_pk_indexes: bool, spec: UpdateSpec):
+    catalog = tpcd.tpcd_catalog(scale_factor=0.1, with_pk_indexes=with_pk_indexes)
+    optimizer = ViewMaintenanceOptimizer(catalog)
+    views = queries.large_view_set()
+    return optimizer.no_greedy(views, spec), optimizer.optimize(views, spec)
+
+
+def main() -> None:
+    spec = UpdateSpec.uniform(0.05)
+
+    print("=== with primary-key indexes predefined (Figure 5a setting)")
+    no_greedy_a, greedy_a = run(True, spec)
+    print(f"  NoGreedy={no_greedy_a.total_cost:8.1f}   Greedy={greedy_a.total_cost:8.1f}   "
+          f"indexes chosen: {len(greedy_a.indexes)}")
+
+    print("=== with no indexes initially (Figure 5b setting)")
+    no_greedy_b, greedy_b = run(False, spec)
+    print(f"  NoGreedy={no_greedy_b.total_cost:8.1f}   Greedy={greedy_b.total_cost:8.1f}   "
+          f"indexes chosen: {len(greedy_b.indexes)}")
+    for label in greedy_b.indexes:
+        print(f"    {label}")
+
+    ratio = greedy_b.total_cost / greedy_a.total_cost
+    print()
+    print(f"Greedy plan cost without initial indexes is {ratio:.2f}x the cost with them —")
+    print("all the indexes maintenance needs were selected for materialization,")
+    print(f"while the baseline got {no_greedy_b.total_cost / no_greedy_a.total_cost:.2f}x more expensive.")
+
+
+if __name__ == "__main__":
+    main()

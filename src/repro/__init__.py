@@ -1,0 +1,31 @@
+"""repro — Materialized view selection and maintenance using multi-query optimization.
+
+A from-scratch Python reproduction of Mistry, Roy, Ramamritham and Sudarshan,
+"Materialized View Selection and Maintenance Using Multi-Query Optimization"
+(SIGMOD 2001).  The package contains every substrate the paper relies on:
+
+* ``repro.catalog``   — schemas, statistics, the system catalog
+* ``repro.storage``   — bag relations, delta relations, indexes, buffer pool
+* ``repro.algebra``   — the logical multiset relational algebra
+* ``repro.engine``    — execution and differential (delta) propagation
+* ``repro.optimizer`` — AND-OR DAG, cost model, Volcano-style plan search
+* ``repro.mqo``       — multi-query optimization (RSSB00 greedy heuristic)
+* ``repro.maintenance`` — the paper's contribution: optimal view-maintenance
+  plans and greedy selection of extra temporary/permanent materializations
+* ``repro.workloads`` — TPC-D-style schema, data, update and view generators
+* ``repro.bench``     — experiment drivers reproducing the paper's figures
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "catalog",
+    "storage",
+    "algebra",
+    "engine",
+    "optimizer",
+    "mqo",
+    "maintenance",
+    "workloads",
+    "bench",
+]

@@ -1,0 +1,82 @@
+"""Logical multiset relational algebra.
+
+Expressions in this package are the *logical* query/view definitions the
+optimizer takes as input: immutable trees of operators (scan, select,
+project, join, aggregate, union, difference, distinct) over named base
+relations, with a small predicate AST.
+
+The DAG builder (:mod:`repro.optimizer.dag_builder`) turns these trees into
+AND-OR DAGs; the execution engine (:mod:`repro.engine`) evaluates physical
+plans derived from them.
+"""
+
+from repro.algebra.predicates import (
+    And,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    col,
+    conjuncts,
+    eq,
+    ge,
+    gt,
+    le,
+    lit,
+    lt,
+    ne,
+)
+from repro.algebra.expressions import (
+    AggregateFunc,
+    AggregateSpec,
+    Aggregate,
+    BaseRelation,
+    Difference,
+    Distinct,
+    Expression,
+    Join,
+    Project,
+    Select,
+    UnionAll,
+    base_relations,
+    walk,
+)
+from repro.algebra.schema_derivation import derive_schema, derive_stats
+
+__all__ = [
+    "Predicate",
+    "TruePredicate",
+    "ColumnRef",
+    "Literal",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "col",
+    "lit",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "conjuncts",
+    "Expression",
+    "BaseRelation",
+    "Select",
+    "Project",
+    "Join",
+    "Aggregate",
+    "AggregateFunc",
+    "AggregateSpec",
+    "UnionAll",
+    "Difference",
+    "Distinct",
+    "base_relations",
+    "walk",
+    "derive_schema",
+    "derive_stats",
+]

@@ -1,0 +1,317 @@
+"""Predicate AST.
+
+Predicates appear in selections and (non-equi parts of) join conditions.
+They are immutable, hashable, and carry both an evaluation method (used by
+the execution engine) and a canonical textual form (used by the DAG builder
+to unify logically equivalent expressions and to detect subsumption, e.g.
+``σ_{A<5}`` derivable from ``σ_{A<10}``).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import Schema
+
+_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_NEGATED = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+class Predicate:
+    """Base class for all predicate nodes."""
+
+    def evaluate(self, row: Tuple[Any, ...], schema: Schema) -> bool:
+        """Evaluate the predicate against a row of ``schema``."""
+        raise NotImplementedError
+
+    def columns(self) -> FrozenSet[str]:
+        """All column names referenced by the predicate."""
+        raise NotImplementedError
+
+    def canonical(self) -> str:
+        """A canonical string used for hashing/unification."""
+        raise NotImplementedError
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Predicate) and self.canonical() == other.canonical()
+
+    def __repr__(self) -> str:
+        return self.canonical()
+
+
+@dataclass(frozen=True, eq=False)
+class TruePredicate(Predicate):
+    """The always-true predicate (an empty selection)."""
+
+    def evaluate(self, row: Tuple[Any, ...], schema: Schema) -> bool:
+        return True
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def canonical(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True, eq=False)
+class ColumnRef(Predicate):
+    """Reference to a column; usable as a comparison operand."""
+
+    name: str
+
+    def evaluate(self, row: Tuple[Any, ...], schema: Schema) -> Any:
+        return row[schema.index_of(self.name)]
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def canonical(self) -> str:
+        return f"col({self.name.rsplit('.', 1)[-1]})"
+
+
+@dataclass(frozen=True, eq=False)
+class Literal(Predicate):
+    """A constant operand."""
+
+    value: Any
+
+    def evaluate(self, row: Tuple[Any, ...], schema: Schema) -> Any:
+        return self.value
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def canonical(self) -> str:
+        return f"lit({self.value!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class Comparison(Predicate):
+    """A binary comparison between two operands (columns or literals)."""
+
+    op: str
+    left: Predicate
+    right: Predicate
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: Tuple[Any, ...], schema: Schema) -> bool:
+        left = self.left.evaluate(row, schema)
+        right = self.right.evaluate(row, schema)
+        if left is None or right is None:
+            return False
+        return _OPS[self.op](left, right)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def canonical(self) -> str:
+        left = self.left.canonical()
+        right = self.right.canonical()
+        op = self.op
+        # Normalize so that col==col comparisons are order independent and
+        # literal-first comparisons are flipped; keeps A==B and B==A unified.
+        if op in ("==", "!=") and right < left:
+            left, right = right, left
+        elif op in ("<", "<=", ">", ">=") and isinstance(self.left, Literal):
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+            return f"({right} {flipped} {left})"
+        return f"({left} {op} {right})"
+
+    @property
+    def is_equijoin(self) -> bool:
+        """Whether this is a column = column comparison."""
+        return (
+            self.op == "=="
+            and isinstance(self.left, ColumnRef)
+            and isinstance(self.right, ColumnRef)
+        )
+
+    def negate(self) -> "Comparison":
+        """The logically negated comparison."""
+        return Comparison(_NEGATED[self.op], self.left, self.right)
+
+
+@dataclass(frozen=True, eq=False)
+class And(Predicate):
+    """Conjunction of predicates (stored as a canonical sorted tuple)."""
+
+    parts: Tuple[Predicate, ...]
+
+    def __init__(self, parts: Iterable[Predicate]) -> None:
+        flattened: List[Predicate] = []
+        for part in parts:
+            if isinstance(part, And):
+                flattened.extend(part.parts)
+            elif isinstance(part, TruePredicate):
+                continue
+            else:
+                flattened.append(part)
+        ordered = tuple(sorted(flattened, key=lambda p: p.canonical()))
+        object.__setattr__(self, "parts", ordered)
+
+    def evaluate(self, row: Tuple[Any, ...], schema: Schema) -> bool:
+        return all(p.evaluate(row, schema) for p in self.parts)
+
+    def columns(self) -> FrozenSet[str]:
+        cols: FrozenSet[str] = frozenset()
+        for p in self.parts:
+            cols |= p.columns()
+        return cols
+
+    def canonical(self) -> str:
+        if not self.parts:
+            return "true"
+        return "(" + " and ".join(p.canonical() for p in self.parts) + ")"
+
+
+@dataclass(frozen=True, eq=False)
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    parts: Tuple[Predicate, ...]
+
+    def __init__(self, parts: Iterable[Predicate]) -> None:
+        ordered = tuple(sorted(parts, key=lambda p: p.canonical()))
+        object.__setattr__(self, "parts", ordered)
+
+    def evaluate(self, row: Tuple[Any, ...], schema: Schema) -> bool:
+        return any(p.evaluate(row, schema) for p in self.parts)
+
+    def columns(self) -> FrozenSet[str]:
+        cols: FrozenSet[str] = frozenset()
+        for p in self.parts:
+            cols |= p.columns()
+        return cols
+
+    def canonical(self) -> str:
+        if not self.parts:
+            return "false"
+        return "(" + " or ".join(p.canonical() for p in self.parts) + ")"
+
+
+@dataclass(frozen=True, eq=False)
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    inner: Predicate
+
+    def evaluate(self, row: Tuple[Any, ...], schema: Schema) -> bool:
+        return not self.inner.evaluate(row, schema)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.inner.columns()
+
+    def canonical(self) -> str:
+        return f"(not {self.inner.canonical()})"
+
+
+# --------------------------------------------------------------------- helpers
+
+def col(name: str) -> ColumnRef:
+    """Shorthand for a column reference."""
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    """Shorthand for a literal."""
+    return Literal(value)
+
+
+def _operand(value: Any) -> Predicate:
+    if isinstance(value, Predicate):
+        return value
+    if isinstance(value, str):
+        return ColumnRef(value)
+    return Literal(value)
+
+
+def eq(left: Any, right: Any) -> Comparison:
+    """``left == right`` (strings are treated as column names)."""
+    return Comparison("==", _operand(left), _operand(right))
+
+
+def ne(left: Any, right: Any) -> Comparison:
+    """``left != right``."""
+    return Comparison("!=", _operand(left), _operand(right))
+
+
+def lt(left: Any, right: Any) -> Comparison:
+    """``left < right``."""
+    return Comparison("<", _operand(left), _operand(right))
+
+
+def le(left: Any, right: Any) -> Comparison:
+    """``left <= right``."""
+    return Comparison("<=", _operand(left), _operand(right))
+
+
+def gt(left: Any, right: Any) -> Comparison:
+    """``left > right``."""
+    return Comparison(">", _operand(left), _operand(right))
+
+
+def ge(left: Any, right: Any) -> Comparison:
+    """``left >= right``."""
+    return Comparison(">=", _operand(left), _operand(right))
+
+
+def conjuncts(predicate: Optional[Predicate]) -> List[Predicate]:
+    """Split a predicate into its top-level conjuncts (empty for True/None)."""
+    if predicate is None or isinstance(predicate, TruePredicate):
+        return []
+    if isinstance(predicate, And):
+        return list(predicate.parts)
+    return [predicate]
+
+
+def conjoin(parts: Sequence[Predicate]) -> Predicate:
+    """Combine conjuncts back into a single predicate."""
+    parts = [p for p in parts if not isinstance(p, TruePredicate)]
+    if not parts:
+        return TruePredicate()
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)
+
+
+def range_subsumes(general: Comparison, specific: Comparison) -> bool:
+    """Whether ``specific`` is implied by ``general`` on the same column.
+
+    Implements the paper's subsumption example: ``σ_{A<5}(E)`` can be derived
+    from ``σ_{A<10}(E)``.  Only single-column vs literal comparisons are
+    considered.
+    """
+    if not (isinstance(general.left, ColumnRef) and isinstance(general.right, Literal)):
+        return False
+    if not (isinstance(specific.left, ColumnRef) and isinstance(specific.right, Literal)):
+        return False
+    if general.left.canonical() != specific.left.canonical():
+        return False
+    g_op, g_val = general.op, general.right.value
+    s_op, s_val = specific.op, specific.right.value
+    try:
+        if g_op in ("<", "<=") and s_op in ("<", "<="):
+            return s_val <= g_val
+        if g_op in (">", ">=") and s_op in (">", ">="):
+            return s_val >= g_val
+        if g_op in ("<", "<=", ">", ">=") and s_op == "==":
+            return _OPS[g_op](s_val, g_val)
+    except TypeError:
+        return False
+    return False

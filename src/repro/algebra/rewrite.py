@@ -1,0 +1,167 @@
+"""Logical rewrites used when preparing expressions for the DAG builder.
+
+Two normalizations keep the expanded DAG small and maximize unification:
+
+* **selection push-down** — conjuncts of a selection above a join that
+  reference columns of only one join input are pushed to that input, and
+  cascading selections are merged;
+* **join flattening** — nested joins are flattened into a *join block*
+  (a set of non-join leaf inputs plus the multiset of equi-join conditions),
+  which the builder then re-expands into every association order.  This is
+  how the expanded DAG ends up with "exactly one equivalence node for every
+  subset of {A, B, C}" (paper Figure 1(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.expressions import (
+    Aggregate,
+    BaseRelation,
+    Difference,
+    Distinct,
+    Expression,
+    Join,
+    Project,
+    Select,
+    UnionAll,
+)
+from repro.algebra.predicates import (
+    Predicate,
+    TruePredicate,
+    conjoin,
+    conjuncts,
+)
+from repro.catalog.catalog import Catalog
+from repro.algebra.schema_derivation import derive_schema
+
+
+def push_down_selections(expression: Expression, catalog: Catalog) -> Expression:
+    """Push selection conjuncts as close to the base relations as possible."""
+
+    def referenced(pred: Predicate, node: Expression) -> bool:
+        schema = derive_schema(node, catalog)
+        return all(column in schema for column in pred.columns())
+
+    def rewrite(node: Expression, pending: List[Predicate]) -> Expression:
+        if isinstance(node, Select):
+            return rewrite(node.child, pending + conjuncts(node.predicate))
+
+        if isinstance(node, Join):
+            left_preds = [p for p in pending if referenced(p, node.left)]
+            remaining = [p for p in pending if p not in left_preds]
+            right_preds = [p for p in remaining if referenced(p, node.right)]
+            still_pending = [p for p in remaining if p not in right_preds]
+            new_left = rewrite(node.left, left_preds)
+            new_right = rewrite(node.right, right_preds)
+            rebuilt: Expression = Join(new_left, new_right, node.conditions, node.residual)
+            if still_pending:
+                rebuilt = Select(rebuilt, conjoin(still_pending))
+            return rebuilt
+
+        if isinstance(node, (Aggregate, Project, Distinct, UnionAll, Difference, BaseRelation)):
+            # Rebuild children without selections crossing these operators
+            # (pushing through aggregation/projection safely would need
+            # column provenance tracking; the paper's workloads do not rely
+            # on it, so we stop here and re-apply pending conjuncts on top).
+            rebuilt = _rebuild_children(node, catalog)
+            if pending:
+                return Select(rebuilt, conjoin(pending))
+            return rebuilt
+
+        raise TypeError(f"unknown expression type {type(node).__name__}")
+
+    return rewrite(expression, [])
+
+
+def _rebuild_children(node: Expression, catalog: Catalog) -> Expression:
+    if isinstance(node, BaseRelation):
+        return node
+    if isinstance(node, Aggregate):
+        return Aggregate(push_down_selections(node.child, catalog), node.group_by, node.aggregates)
+    if isinstance(node, Project):
+        return Project(push_down_selections(node.child, catalog), node.columns)
+    if isinstance(node, Distinct):
+        return Distinct(push_down_selections(node.child, catalog))
+    if isinstance(node, UnionAll):
+        return UnionAll([push_down_selections(i, catalog) for i in node.inputs])
+    if isinstance(node, Difference):
+        return Difference(
+            push_down_selections(node.left, catalog), push_down_selections(node.right, catalog)
+        )
+    return node
+
+
+@dataclass
+class JoinBlock:
+    """A flattened join: leaf inputs and the equi-join conditions among them.
+
+    ``leaves`` are non-join expressions (base relations, selections over base
+    relations, aggregate results, ...).  ``conditions`` keep the original
+    ``(left_column, right_column)`` pairs; ``residuals`` collects non-equi
+    join predicates which are re-applied on top of the block.
+    """
+
+    leaves: List[Expression] = field(default_factory=list)
+    conditions: List[Tuple[str, str]] = field(default_factory=list)
+    residuals: List[Predicate] = field(default_factory=list)
+
+    @property
+    def is_trivial(self) -> bool:
+        """Whether the block is a single leaf (no join at all)."""
+        return len(self.leaves) <= 1
+
+
+def flatten_join_block(expression: Expression) -> JoinBlock:
+    """Flatten a tree of joins into a :class:`JoinBlock`.
+
+    Non-join operators become leaves; their subtrees are *not* flattened
+    further here (the DAG builder recurses into them separately).
+    """
+    block = JoinBlock()
+
+    def visit(node: Expression) -> None:
+        if isinstance(node, Join):
+            block.conditions.extend(node.conditions)
+            if node.residual is not None and not isinstance(node.residual, TruePredicate):
+                block.residuals.append(node.residual)
+            visit(node.left)
+            visit(node.right)
+        else:
+            block.leaves.append(node)
+
+    visit(expression)
+    return block
+
+
+def left_deep_join(
+    leaves: Sequence[Expression], conditions: Sequence[Tuple[str, str]], catalog: Catalog
+) -> Expression:
+    """Build a representative left-deep join over ``leaves``.
+
+    Conditions are attached to the first join in which both their columns are
+    available; any condition whose columns never become available together is
+    ignored (it does not apply to this subset of leaves).
+    """
+    if not leaves:
+        raise ValueError("cannot build a join over zero leaves")
+    ordered = sorted(leaves, key=lambda e: e.canonical())
+    current = ordered[0]
+    unused = list(conditions)
+    for leaf in ordered[1:]:
+        current_schema = derive_schema(current, catalog)
+        leaf_schema = derive_schema(leaf, catalog)
+        applicable: List[Tuple[str, str]] = []
+        rest: List[Tuple[str, str]] = []
+        for a, b in unused:
+            if a in current_schema and b in leaf_schema:
+                applicable.append((a, b))
+            elif b in current_schema and a in leaf_schema:
+                applicable.append((b, a))
+            else:
+                rest.append((a, b))
+        unused = rest
+        current = Join(current, leaf, applicable)
+    return current

@@ -1,0 +1,172 @@
+"""Derivation of output schemas and statistics for logical expressions.
+
+``derive_schema`` computes the output schema of any :class:`Expression`
+against a :class:`~repro.catalog.Catalog`; ``derive_stats`` computes the
+estimated statistics (cardinality, tuple width, column stats) used by the
+cost model.  Both walk the logical tree directly, so they are usable before
+any DAG has been built — the DAG builder then caches the results per
+equivalence node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.algebra.expressions import (
+    Aggregate,
+    AggregateFunc,
+    BaseRelation,
+    Difference,
+    Distinct,
+    Expression,
+    Join,
+    Project,
+    Select,
+    UnionAll,
+)
+from repro.algebra.predicates import (
+    ColumnRef,
+    Comparison,
+    Literal,
+    Predicate,
+    conjuncts,
+)
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, ColumnType, Schema, SchemaError
+from repro.catalog.statistics import (
+    ColumnStats,
+    TableStats,
+    difference_cardinality,
+    estimate_group_count,
+    estimate_join_cardinality,
+    estimate_selectivity,
+    merge_column_stats,
+    union_cardinality,
+)
+
+
+def derive_schema(expression: Expression, catalog: Catalog) -> Schema:
+    """Compute the output schema of ``expression``."""
+    if isinstance(expression, BaseRelation):
+        return catalog.schema(expression.name)
+    if isinstance(expression, Select):
+        return derive_schema(expression.child, catalog)
+    if isinstance(expression, Project):
+        child = derive_schema(expression.child, catalog)
+        return child.project(expression.columns)
+    if isinstance(expression, Join):
+        left = derive_schema(expression.left, catalog)
+        right = derive_schema(expression.right, catalog)
+        return left.concat(right)
+    if isinstance(expression, Aggregate):
+        child = derive_schema(expression.child, catalog)
+        columns: List[Column] = [child.column(g) for g in expression.group_by]
+        for agg in expression.aggregates:
+            ctype = ColumnType.INTEGER if agg.func is AggregateFunc.COUNT else ColumnType.FLOAT
+            columns.append(Column(agg.alias, ctype))
+        return Schema(tuple(columns))
+    if isinstance(expression, UnionAll):
+        return derive_schema(expression.inputs[0], catalog)
+    if isinstance(expression, Difference):
+        return derive_schema(expression.left, catalog)
+    if isinstance(expression, Distinct):
+        return derive_schema(expression.child, catalog)
+    raise TypeError(f"unknown expression type {type(expression).__name__}")
+
+
+def predicate_selectivity(predicate: Predicate, stats: TableStats) -> float:
+    """Estimated selectivity of an arbitrary predicate against ``stats``."""
+    selectivity = 1.0
+    for part in conjuncts(predicate):
+        selectivity *= _single_selectivity(part, stats)
+    return max(0.0, min(1.0, selectivity))
+
+
+def _single_selectivity(predicate: Predicate, stats: TableStats) -> float:
+    if isinstance(predicate, Comparison):
+        left, right, op = predicate.left, predicate.right, predicate.op
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            return estimate_selectivity(op, stats, left.name, _numeric(right.value))
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+            return estimate_selectivity(flipped, stats, right.name, _numeric(left.value))
+        if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+            # Column-to-column comparison within one input: treat as an
+            # equi-restriction using the larger distinct count.
+            v = max(stats.distinct(left.name), stats.distinct(right.name))
+            return 1.0 / max(1.0, v) if op == "==" else 1.0 / 3.0
+    # Unknown predicate shapes get the default restriction factor.
+    return 0.25
+
+
+def _numeric(value) -> Optional[float]:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+def derive_stats(expression: Expression, catalog: Catalog) -> TableStats:
+    """Compute estimated statistics for the result of ``expression``."""
+    if isinstance(expression, BaseRelation):
+        return catalog.stats(expression.name)
+
+    if isinstance(expression, Select):
+        child = derive_stats(expression.child, catalog)
+        selectivity = predicate_selectivity(expression.predicate, child)
+        return child.with_cardinality(child.cardinality * selectivity)
+
+    if isinstance(expression, Project):
+        child = derive_stats(expression.child, catalog)
+        schema = derive_schema(expression, catalog)
+        kept = {c.name for c in schema.columns}
+        cols = {n: cs for n, cs in child.column_stats.items() if n in kept or n.rsplit(".", 1)[-1] in kept}
+        return TableStats(child.cardinality, schema.tuple_width, cols)
+
+    if isinstance(expression, Join):
+        left = derive_stats(expression.left, catalog)
+        right = derive_stats(expression.right, catalog)
+        cardinality = estimate_join_cardinality(left, right, expression.conditions)
+        if not isinstance(expression.residual, type(None)):
+            combined = TableStats(
+                max(cardinality, 1.0),
+                left.tuple_width + right.tuple_width,
+                merge_column_stats(left.column_stats, right.column_stats),
+            )
+            cardinality *= predicate_selectivity(expression.residual, combined)
+        width = left.tuple_width + right.tuple_width
+        cols = merge_column_stats(left.column_stats, right.column_stats)
+        # Clamp distinct counts to the join output cardinality.
+        return TableStats(cardinality, width, cols).with_cardinality(cardinality)
+
+    if isinstance(expression, Aggregate):
+        child = derive_stats(expression.child, catalog)
+        groups = estimate_group_count(child, expression.group_by)
+        schema = derive_schema(expression, catalog)
+        cols: Dict[str, ColumnStats] = {}
+        for g in expression.group_by:
+            base = child.column(g)
+            cols[g] = ColumnStats(distinct=min(base.distinct if base else groups, groups)) if base else ColumnStats(distinct=groups)
+        for agg in expression.aggregates:
+            cols[agg.alias] = ColumnStats(distinct=groups)
+        return TableStats(groups, schema.tuple_width, cols)
+
+    if isinstance(expression, UnionAll):
+        parts = [derive_stats(i, catalog) for i in expression.inputs]
+        schema = derive_schema(expression, catalog)
+        cols = merge_column_stats(*[p.column_stats for p in parts])
+        return TableStats(union_cardinality(parts), schema.tuple_width, cols)
+
+    if isinstance(expression, Difference):
+        left = derive_stats(expression.left, catalog)
+        right = derive_stats(expression.right, catalog)
+        return left.with_cardinality(difference_cardinality(left, right))
+
+    if isinstance(expression, Distinct):
+        child = derive_stats(expression.child, catalog)
+        schema = derive_schema(expression, catalog)
+        distinct = estimate_group_count(child, list(schema.names))
+        return child.with_cardinality(distinct)
+
+    raise TypeError(f"unknown expression type {type(expression).__name__}")

@@ -1,0 +1,44 @@
+"""Benchmark harness reproducing the paper's performance study (§7).
+
+:mod:`repro.bench.harness` provides the generic sweep machinery (run Greedy
+and NoGreedy for a workload across update percentages and collect the series
+a figure plots); :mod:`repro.bench.experiments` instantiates it once per
+paper figure/table; :mod:`repro.bench.reporting` renders the results as the
+text tables recorded in ``EXPERIMENTS.md``.
+"""
+
+from repro.bench.harness import ExperimentConfig, FigurePoint, FigureSeries, run_figure_sweep
+from repro.bench.experiments import (
+    DEFAULT_UPDATE_PERCENTAGES,
+    run_fig3a,
+    run_fig3b,
+    run_fig4a,
+    run_fig4b,
+    run_fig5a,
+    run_fig5b,
+    run_optimization_cost,
+    run_temp_vs_perm,
+    run_buffer_size_effect,
+    run_sharing_examples,
+)
+from repro.bench.reporting import format_series, format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "FigurePoint",
+    "FigureSeries",
+    "run_figure_sweep",
+    "DEFAULT_UPDATE_PERCENTAGES",
+    "run_fig3a",
+    "run_fig3b",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig5a",
+    "run_fig5b",
+    "run_optimization_cost",
+    "run_temp_vs_perm",
+    "run_buffer_size_effect",
+    "run_sharing_examples",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,28 @@
+"""Schema and statistics catalog.
+
+The catalog is the optimizer's view of the database: which tables exist, what
+their columns are, how many tuples they contain, how wide the tuples are, and
+per-column statistics (distinct counts, min/max) used for selectivity and
+cardinality estimation.
+
+Everything the cost model consumes ultimately comes from here, which is what
+lets the benchmark harness reproduce the paper's experiments at the paper's
+cardinalities without materializing 100 MB of TPC-D data: statistics can be
+set explicitly (see :meth:`Catalog.register_table_stats`).
+"""
+
+from repro.catalog.schema import Column, ColumnType, Schema, TableDef
+from repro.catalog.statistics import ColumnStats, TableStats, estimate_selectivity
+from repro.catalog.catalog import Catalog, IndexDef
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Schema",
+    "TableDef",
+    "ColumnStats",
+    "TableStats",
+    "estimate_selectivity",
+    "Catalog",
+    "IndexDef",
+]

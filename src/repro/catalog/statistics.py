@@ -1,0 +1,244 @@
+"""Table and column statistics, and selectivity estimation.
+
+The optimizer's cardinality estimates follow the classic System-R style
+assumptions the paper's prototype (built on a Volcano-style optimizer) uses:
+
+* uniform value distributions within a column,
+* independence between predicates,
+* containment of value sets for equi-joins (``|R ⋈ S| = |R|·|S| / max(V(R,a),
+  V(S,b))``).
+
+Statistics can be *measured* from an actual :class:`~repro.storage.Relation`
+or *declared* (for the benchmark harness, which mirrors the paper's TPC-D
+scale-0.1 cardinalities without generating 100 MB of data).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.catalog.schema import Schema
+
+#: Default selectivity used when a predicate cannot be estimated from stats.
+DEFAULT_EQUALITY_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for a single column.
+
+    Parameters
+    ----------
+    distinct:
+        Estimated number of distinct values.
+    min_value / max_value:
+        Numeric bounds when known; ``None`` for non-numeric columns.
+    null_fraction:
+        Fraction of NULLs (we keep it for completeness; TPC-D data has none).
+    """
+
+    distinct: float = 1.0
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+    null_fraction: float = 0.0
+
+    def scaled(self, factor: float) -> "ColumnStats":
+        """Scale the distinct count (used when scaling table cardinalities)."""
+        return replace(self, distinct=max(1.0, self.distinct * factor))
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics for a table or intermediate result.
+
+    Parameters
+    ----------
+    cardinality:
+        Estimated number of tuples.
+    tuple_width:
+        Width of one tuple in bytes.
+    column_stats:
+        Per-column statistics keyed by (possibly qualified) column name.
+    """
+
+    cardinality: float
+    tuple_width: int
+    column_stats: Mapping[str, ColumnStats] = field(default_factory=dict)
+
+    @property
+    def size_bytes(self) -> float:
+        """Estimated size of the result in bytes."""
+        return max(0.0, self.cardinality) * self.tuple_width
+
+    def distinct(self, column: str, default: Optional[float] = None) -> float:
+        """Distinct count for ``column`` with graceful fallbacks.
+
+        If the column has no recorded statistics, the cardinality itself is
+        used for key-like columns; callers can pass ``default`` to override.
+        """
+        stats = _lookup(self.column_stats, column)
+        if stats is not None:
+            return max(1.0, min(stats.distinct, max(self.cardinality, 1.0)))
+        if default is not None:
+            return max(1.0, default)
+        return max(1.0, self.cardinality * DEFAULT_EQUALITY_SELECTIVITY)
+
+    def column(self, column: str) -> Optional[ColumnStats]:
+        """Return the :class:`ColumnStats` for ``column`` if recorded."""
+        return _lookup(self.column_stats, column)
+
+    def with_cardinality(self, cardinality: float) -> "TableStats":
+        """Return a copy with a new cardinality, clamping distinct counts."""
+        new_cols = {
+            name: replace(cs, distinct=max(1.0, min(cs.distinct, max(cardinality, 1.0))))
+            for name, cs in self.column_stats.items()
+        }
+        return TableStats(max(0.0, cardinality), self.tuple_width, new_cols)
+
+    def scaled(self, factor: float) -> "TableStats":
+        """Scale cardinality (and distinct counts) by ``factor``."""
+        return self.with_cardinality(self.cardinality * factor)
+
+    @staticmethod
+    def from_relation(relation, schema: Optional[Schema] = None) -> "TableStats":
+        """Measure statistics from an in-memory relation.
+
+        ``relation`` is any object exposing ``schema`` and iteration over
+        tuples (duck-typed to avoid a circular import with ``repro.storage``).
+        """
+        schema = schema or relation.schema
+        rows = list(relation)
+        card = float(len(rows))
+        col_stats: Dict[str, ColumnStats] = {}
+        for idx, col in enumerate(schema.columns):
+            values = [row[idx] for row in rows if row[idx] is not None]
+            distinct = float(len(set(values))) if values else 1.0
+            numeric = [v for v in values if isinstance(v, (int, float)) and not isinstance(v, bool)]
+            col_stats[col.name] = ColumnStats(
+                distinct=distinct,
+                min_value=float(min(numeric)) if numeric else None,
+                max_value=float(max(numeric)) if numeric else None,
+                null_fraction=(1.0 - len(values) / card) if card else 0.0,
+            )
+        return TableStats(card, schema.tuple_width, col_stats)
+
+
+def _lookup(stats: Mapping[str, ColumnStats], column: str) -> Optional[ColumnStats]:
+    """Resolve a column name in a stats mapping, allowing suffix matches."""
+    if column in stats:
+        return stats[column]
+    suffix = column.rsplit(".", 1)[-1]
+    matches = [cs for name, cs in stats.items() if name.rsplit(".", 1)[-1] == suffix]
+    if len(matches) == 1:
+        return matches[0]
+    return None
+
+
+def merge_column_stats(*mappings: Mapping[str, ColumnStats]) -> Dict[str, ColumnStats]:
+    """Merge several column-stats mappings (later ones win on conflicts)."""
+    merged: Dict[str, ColumnStats] = {}
+    for mapping in mappings:
+        merged.update(mapping)
+    return merged
+
+
+def estimate_selectivity(
+    op: str,
+    stats: TableStats,
+    column: str,
+    value: Optional[float] = None,
+) -> float:
+    """Estimate the selectivity of a simple predicate ``column op value``.
+
+    ``op`` is one of ``==, !=, <, <=, >, >=``.  Uses distinct counts for
+    equality and min/max interpolation for ranges, falling back to the
+    classic System-R magic constants when statistics are missing.
+    """
+    col = stats.column(column)
+    if op == "==":
+        if col is not None:
+            return 1.0 / max(1.0, col.distinct)
+        return DEFAULT_EQUALITY_SELECTIVITY
+    if op == "!=":
+        if col is not None:
+            return 1.0 - 1.0 / max(1.0, col.distinct)
+        return 1.0 - DEFAULT_EQUALITY_SELECTIVITY
+    if op in ("<", "<=", ">", ">="):
+        if (
+            col is not None
+            and col.min_value is not None
+            and col.max_value is not None
+            and col.max_value > col.min_value
+            and isinstance(value, (int, float))
+        ):
+            frac = (float(value) - col.min_value) / (col.max_value - col.min_value)
+            frac = min(1.0, max(0.0, frac))
+            if op in (">", ">="):
+                frac = 1.0 - frac
+            return min(1.0, max(1.0 / max(stats.cardinality, 1.0), frac))
+        return DEFAULT_RANGE_SELECTIVITY
+    raise ValueError(f"unknown predicate operator {op!r}")
+
+
+def join_selectivity(
+    left: TableStats, right: TableStats, left_col: str, right_col: str
+) -> float:
+    """Equi-join selectivity ``1 / max(V(L,a), V(R,b))`` (containment)."""
+    v_left = left.distinct(left_col, default=left.cardinality)
+    v_right = right.distinct(right_col, default=right.cardinality)
+    return 1.0 / max(1.0, v_left, v_right)
+
+
+def estimate_join_cardinality(
+    left: TableStats,
+    right: TableStats,
+    join_columns: Sequence[tuple],
+) -> float:
+    """Cardinality of an equi-join over ``join_columns`` pairs.
+
+    Each element of ``join_columns`` is a ``(left_column, right_column)``
+    pair; selectivities of independent join predicates multiply.
+    """
+    cardinality = left.cardinality * right.cardinality
+    for left_col, right_col in join_columns:
+        cardinality *= join_selectivity(left, right, left_col, right_col)
+    return max(0.0, cardinality)
+
+
+def estimate_group_count(stats: TableStats, group_columns: Sequence[str]) -> float:
+    """Estimated number of groups of a group-by over ``group_columns``.
+
+    Product of distinct counts, capped by the input cardinality (the standard
+    Volcano/System-R estimate).
+    """
+    if not group_columns:
+        return 1.0 if stats.cardinality > 0 else 0.0
+    product = 1.0
+    for col in group_columns:
+        product *= stats.distinct(col)
+    return max(1.0, min(product, max(stats.cardinality, 1.0)))
+
+
+def union_cardinality(parts: Iterable[TableStats]) -> float:
+    """Cardinality of a multiset union (duplicates preserved): plain sum."""
+    return sum(p.cardinality for p in parts)
+
+
+def difference_cardinality(left: TableStats, right: TableStats) -> float:
+    """Cardinality of a multiset difference; never negative."""
+    return max(0.0, left.cardinality - min(left.cardinality, right.cardinality))
+
+
+def distinct_cardinality(stats: TableStats, columns: Sequence[str]) -> float:
+    """Cardinality of duplicate elimination over ``columns``."""
+    return estimate_group_count(stats, list(columns))
+
+
+def blocks(size_bytes: float, block_size: int) -> float:
+    """Number of blocks needed to hold ``size_bytes`` bytes."""
+    if size_bytes <= 0:
+        return 0.0
+    return math.ceil(size_bytes / block_size)

@@ -1,0 +1,16 @@
+"""Bag-algebra execution engine.
+
+The engine evaluates logical expressions (and optimizer plans) against a
+:class:`Database` of named relations, and — crucially for this paper —
+propagates *differentials* of expressions with respect to single-relation
+updates, which is the executable ground truth the maintenance tests use to
+check that incremental refresh produces exactly the same view contents as
+full recomputation.
+"""
+
+from repro.engine.database import Database
+from repro.engine.executor import evaluate
+from repro.engine.differential import ExpressionDelta, differentiate
+from repro.engine import operators
+
+__all__ = ["Database", "evaluate", "ExpressionDelta", "differentiate", "operators"]

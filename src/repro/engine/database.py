@@ -1,0 +1,181 @@
+"""The database: named base relations, materialized views and indexes.
+
+A :class:`Database` is the runtime counterpart of the
+:class:`~repro.catalog.Catalog`: it owns the actual tuple bags.  The
+maintenance layer mutates it by applying deltas to base tables and refreshed
+contents to materialized views; tests compare the incrementally maintained
+views against recomputation over the same database.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog, IndexDef
+from repro.catalog.schema import Schema, TableDef
+from repro.catalog.statistics import TableStats
+from repro.storage.delta import Delta, DeltaKind
+from repro.storage.index import HashIndex, SortedIndex, build_index
+from repro.storage.relation import Relation
+
+
+class DatabaseError(KeyError):
+    """Raised when a relation is not present in the database."""
+
+
+class Database:
+    """Holds base tables, materialized views and their indexes."""
+
+    def __init__(self, catalog: Optional[Catalog] = None) -> None:
+        self.catalog = catalog or Catalog()
+        self._tables: Dict[str, Relation] = {}
+        self._views: Dict[str, Relation] = {}
+        self._indexes: Dict[Tuple[str, Tuple[str, ...], str], object] = {}
+
+    # ------------------------------------------------------------------ tables
+
+    def create_table(self, table: TableDef, rows: Optional[Iterable] = None) -> Relation:
+        """Create (and register in the catalog) a base table."""
+        relation = Relation(table.schema, rows or [], name=table.name)
+        self._tables[table.name] = relation
+        if not self.catalog.has_table(table.name):
+            self.catalog.register_table(table)
+        self.refresh_statistics(table.name)
+        return relation
+
+    def load_table(self, name: str, relation: Relation) -> None:
+        """Replace the contents of an existing table."""
+        if name not in self._tables and not self.catalog.has_table(name):
+            raise DatabaseError(f"unknown table {name!r}")
+        relation.name = name
+        self._tables[name] = relation
+        self.refresh_statistics(name)
+
+    def table(self, name: str) -> Relation:
+        """Fetch a base table (or a materialized view registered as a source)."""
+        if name in self._tables:
+            return self._tables[name]
+        if name in self._views:
+            return self._views[name]
+        raise DatabaseError(f"relation {name!r} not loaded")
+
+    def has_relation(self, name: str) -> bool:
+        """Whether a table or view with this name is loaded."""
+        return name in self._tables or name in self._views
+
+    def table_names(self) -> List[str]:
+        """Names of the loaded base tables."""
+        return list(self._tables)
+
+    # ------------------------------------------------------------------- views
+
+    def materialize_view(self, name: str, relation: Relation) -> None:
+        """Store (or replace) a materialized view's contents."""
+        relation.name = name
+        self._views[name] = relation
+
+    def view(self, name: str) -> Relation:
+        """Fetch a materialized view's contents."""
+        try:
+            return self._views[name]
+        except KeyError as exc:
+            raise DatabaseError(f"view {name!r} not materialized") from exc
+
+    def has_view(self, name: str) -> bool:
+        """Whether a view with this name is materialized."""
+        return name in self._views
+
+    def drop_view(self, name: str) -> None:
+        """Discard a materialized view (used for temporary materializations)."""
+        self._views.pop(name, None)
+        for key in [k for k in self._indexes if k[0] == name]:
+            del self._indexes[key]
+
+    def view_names(self) -> List[str]:
+        """Names of all materialized views."""
+        return list(self._views)
+
+    # ----------------------------------------------------------------- indexes
+
+    def build_index(self, index: IndexDef) -> object:
+        """Build an index over a loaded relation and register it in the catalog."""
+        relation = self.table(index.table)
+        built = build_index(relation, index.columns, kind="hash" if index.kind == "hash" else "btree")
+        self._indexes[(index.table, index.columns, index.kind)] = built
+        self.catalog.register_index(index)
+        return built
+
+    def index_for(self, table: str, columns: Sequence[str]) -> Optional[object]:
+        """Find a usable index on ``table`` with leading key ``columns``."""
+        wanted = tuple(c.rsplit(".", 1)[-1] for c in columns)
+        for (tbl, cols, _kind), built in self._indexes.items():
+            if tbl != table:
+                continue
+            key = tuple(c.rsplit(".", 1)[-1] for c in cols)
+            if key[: len(wanted)] == wanted:
+                return built
+        return None
+
+    def rebuild_indexes(self, table: str) -> None:
+        """Rebuild every index on ``table`` (after its contents changed)."""
+        for (tbl, cols, kind) in list(self._indexes):
+            if tbl == table:
+                relation = self.table(table)
+                self._indexes[(tbl, cols, kind)] = build_index(
+                    relation, cols, kind="hash" if kind == "hash" else "btree"
+                )
+
+    # ------------------------------------------------------------------ deltas
+
+    def apply_update(self, relation: str, kind: DeltaKind, delta_rows: Relation) -> None:
+        """Apply one single-relation update (insert or delete bag) to a base table."""
+        current = self.table(relation)
+        if kind is DeltaKind.INSERT:
+            updated = current.union_all(delta_rows)
+        else:
+            updated = current.difference(delta_rows)
+        updated.name = relation
+        if relation in self._tables:
+            self._tables[relation] = updated
+        else:
+            self._views[relation] = updated
+        self.rebuild_indexes(relation)
+        self.refresh_statistics(relation)
+
+    def apply_delta(self, delta: Delta) -> None:
+        """Apply a full delta (inserts then deletes) to a base table."""
+        if len(delta.inserts):
+            self.apply_update(delta.relation, DeltaKind.INSERT, delta.inserts)
+        if len(delta.deletes):
+            self.apply_update(delta.relation, DeltaKind.DELETE, delta.deletes)
+
+    def update_view(
+        self,
+        name: str,
+        inserts: Optional[Relation] = None,
+        deletes: Optional[Relation] = None,
+    ) -> None:
+        """Merge a computed view differential into the stored view (V ← V − δ− ∪ δ+)."""
+        current = self.view(name)
+        self._views[name] = current.apply_delta(inserts=inserts, deletes=deletes)
+        self.rebuild_indexes(name)
+
+    # ------------------------------------------------------------- statistics
+
+    def refresh_statistics(self, name: str) -> None:
+        """Re-measure catalog statistics for a loaded base table."""
+        if name in self._tables and self.catalog.has_table(name):
+            relation = self._tables[name]
+            self.catalog.register_table_stats(name, TableStats.from_relation(relation))
+
+    def copy(self) -> "Database":
+        """Deep-enough copy: tuple bags are copied, catalog is shared copy."""
+        clone = Database(self.catalog.copy())
+        clone._tables = {k: v.copy() for k, v in self._tables.items()}
+        clone._views = {k: v.copy() for k, v in self._views.items()}
+        for (table, columns, kind) in self._indexes:
+            if clone.has_relation(table):
+                clone._indexes[(table, columns, kind)] = build_index(
+                    clone.table(table), columns, kind="hash" if kind == "hash" else "btree"
+                )
+        return clone

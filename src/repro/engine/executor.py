@@ -1,0 +1,86 @@
+"""Evaluation of logical expressions against a database.
+
+``evaluate`` interprets a logical :class:`~repro.algebra.Expression` directly
+over the current contents of a :class:`~repro.engine.Database`, using hash
+joins and hash aggregation.  It also understands materialized views: when
+``use_materialized`` is set and a sub-expression matches a view registered
+via :meth:`MaterializedRegistry.register`, the stored contents are returned
+without recomputation — this is how temporarily materialized shared
+sub-expressions get reused at execution time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.algebra.expressions import (
+    Aggregate,
+    BaseRelation,
+    Difference,
+    Distinct,
+    Expression,
+    Join,
+    Project,
+    Select,
+    UnionAll,
+)
+from repro.engine import operators
+from repro.engine.database import Database
+from repro.storage.relation import Relation
+
+
+class MaterializedRegistry:
+    """Maps canonical expression forms to materialized view names."""
+
+    def __init__(self) -> None:
+        self._by_canonical: Dict[str, str] = {}
+
+    def register(self, expression: Expression, view_name: str) -> None:
+        """Record that ``expression``'s result is stored under ``view_name``."""
+        self._by_canonical[expression.canonical()] = view_name
+
+    def lookup(self, expression: Expression) -> Optional[str]:
+        """The view name storing ``expression``'s result, if any."""
+        return self._by_canonical.get(expression.canonical())
+
+    def unregister(self, expression: Expression) -> None:
+        """Forget a registration (when a temporary result is discarded)."""
+        self._by_canonical.pop(expression.canonical(), None)
+
+    def __len__(self) -> int:
+        return len(self._by_canonical)
+
+
+def evaluate(
+    expression: Expression,
+    database: Database,
+    materialized: Optional[MaterializedRegistry] = None,
+    join_algorithm: str = "hash",
+) -> Relation:
+    """Evaluate ``expression`` over ``database`` and return its result bag."""
+    join_fn = operators.JOIN_ALGORITHMS[join_algorithm]
+
+    def recurse(node: Expression) -> Relation:
+        if materialized is not None:
+            view_name = materialized.lookup(node)
+            if view_name is not None and database.has_view(view_name):
+                return database.view(view_name)
+        if isinstance(node, BaseRelation):
+            return database.table(node.name)
+        if isinstance(node, Select):
+            return operators.select(recurse(node.child), node.predicate)
+        if isinstance(node, Project):
+            return operators.project(recurse(node.child), node.columns)
+        if isinstance(node, Join):
+            return join_fn(recurse(node.left), recurse(node.right), node.conditions, node.residual)
+        if isinstance(node, Aggregate):
+            return operators.aggregate(recurse(node.child), node.group_by, node.aggregates)
+        if isinstance(node, UnionAll):
+            return operators.union_all(*[recurse(i) for i in node.inputs])
+        if isinstance(node, Difference):
+            return operators.difference(recurse(node.left), recurse(node.right))
+        if isinstance(node, Distinct):
+            return operators.distinct(recurse(node.child))
+        raise TypeError(f"unknown expression type {type(node).__name__}")
+
+    return recurse(expression)

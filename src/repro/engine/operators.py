@@ -1,0 +1,274 @@
+"""Physical bag operators.
+
+Each function consumes and produces :class:`~repro.storage.Relation` objects
+with multiset semantics.  Several join algorithms are provided (nested-loop,
+hash, sort-merge, index nested-loop) so that the plans the optimizer costs
+can actually be executed; the executor picks the algorithm named in the
+physical plan, defaulting to hash join.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.expressions import AggregateFunc, AggregateSpec
+from repro.algebra.predicates import Predicate, TruePredicate
+from repro.catalog.schema import Column, ColumnType, Schema
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.relation import Relation, Row
+
+
+# ---------------------------------------------------------------- select / project
+
+def select(relation: Relation, predicate: Predicate) -> Relation:
+    """σ_predicate — keep rows satisfying the predicate."""
+    schema = relation.schema
+    return Relation(schema, [r for r in relation if predicate.evaluate(r, schema)], relation.name)
+
+
+def project(relation: Relation, columns: Sequence[str]) -> Relation:
+    """π_columns — duplicate-preserving projection."""
+    return relation.project(columns)
+
+
+# ---------------------------------------------------------------------- joins
+
+def _join_positions(
+    left: Schema, right: Schema, conditions: Sequence[Tuple[str, str]]
+) -> Tuple[List[int], List[int]]:
+    """Resolve equi-join columns to positions, fixing swapped sides if needed."""
+    left_pos: List[int] = []
+    right_pos: List[int] = []
+    for a, b in conditions:
+        try:
+            left_pos.append(left.index_of(a))
+            right_pos.append(right.index_of(b))
+        except Exception:
+            # The condition may have been written with sides swapped relative
+            # to this operand order (joins are commutative).
+            left_pos.append(left.index_of(b))
+            right_pos.append(right.index_of(a))
+    return left_pos, right_pos
+
+
+def _output(left: Relation, right: Relation) -> Schema:
+    return left.schema.concat(right.schema)
+
+
+def _residual_filter(
+    rows: List[Row], schema: Schema, residual: Optional[Predicate]
+) -> List[Row]:
+    if residual is None or isinstance(residual, TruePredicate):
+        return rows
+    return [r for r in rows if residual.evaluate(r, schema)]
+
+
+def nested_loop_join(
+    left: Relation,
+    right: Relation,
+    conditions: Sequence[Tuple[str, str]] = (),
+    residual: Optional[Predicate] = None,
+) -> Relation:
+    """Tuple nested-loop join (also serves as the cross-product operator)."""
+    schema = _output(left, right)
+    left_pos, right_pos = _join_positions(left.schema, right.schema, conditions)
+    out: List[Row] = []
+    for lrow in left:
+        lkey = tuple(lrow[i] for i in left_pos)
+        for rrow in right:
+            if conditions and tuple(rrow[i] for i in right_pos) != lkey:
+                continue
+            out.append(lrow + rrow)
+    return Relation(schema, _residual_filter(out, schema, residual))
+
+
+def hash_join(
+    left: Relation,
+    right: Relation,
+    conditions: Sequence[Tuple[str, str]] = (),
+    residual: Optional[Predicate] = None,
+) -> Relation:
+    """Hash join on the equi-join columns (build on the smaller input)."""
+    if not conditions:
+        return nested_loop_join(left, right, conditions, residual)
+    schema = _output(left, right)
+    left_pos, right_pos = _join_positions(left.schema, right.schema, conditions)
+    # Build on the right input, probe with the left (output order: left ++ right).
+    buckets: Dict[Tuple[Any, ...], List[Row]] = defaultdict(list)
+    for rrow in right:
+        buckets[tuple(rrow[i] for i in right_pos)].append(rrow)
+    out: List[Row] = []
+    for lrow in left:
+        key = tuple(lrow[i] for i in left_pos)
+        for rrow in buckets.get(key, ()):
+            out.append(lrow + rrow)
+    return Relation(schema, _residual_filter(out, schema, residual))
+
+
+def merge_join(
+    left: Relation,
+    right: Relation,
+    conditions: Sequence[Tuple[str, str]] = (),
+    residual: Optional[Predicate] = None,
+) -> Relation:
+    """Sort-merge join: sorts both inputs on the join key, then merges."""
+    if not conditions:
+        return nested_loop_join(left, right, conditions, residual)
+    schema = _output(left, right)
+    left_pos, right_pos = _join_positions(left.schema, right.schema, conditions)
+    lrows = sorted(left.rows, key=lambda r: tuple(r[i] for i in left_pos))
+    rrows = sorted(right.rows, key=lambda r: tuple(r[i] for i in right_pos))
+    out: List[Row] = []
+    i = j = 0
+    while i < len(lrows) and j < len(rrows):
+        lkey = tuple(lrows[i][p] for p in left_pos)
+        rkey = tuple(rrows[j][p] for p in right_pos)
+        if lkey < rkey:
+            i += 1
+        elif lkey > rkey:
+            j += 1
+        else:
+            # Gather the full run of equal keys on both sides.
+            i_end = i
+            while i_end < len(lrows) and tuple(lrows[i_end][p] for p in left_pos) == lkey:
+                i_end += 1
+            j_end = j
+            while j_end < len(rrows) and tuple(rrows[j_end][p] for p in right_pos) == rkey:
+                j_end += 1
+            for li in range(i, i_end):
+                for rj in range(j, j_end):
+                    out.append(lrows[li] + rrows[rj])
+            i, j = i_end, j_end
+    return Relation(schema, _residual_filter(out, schema, residual))
+
+
+def index_nested_loop_join(
+    outer: Relation,
+    inner: Relation,
+    index,
+    conditions: Sequence[Tuple[str, str]],
+    residual: Optional[Predicate] = None,
+) -> Relation:
+    """Index nested-loop join probing ``index`` built on the inner relation.
+
+    ``index`` must be a :class:`HashIndex` or :class:`SortedIndex` whose key
+    columns match the inner side of ``conditions`` in order.
+    """
+    schema = _output(outer, inner)
+    outer_pos, _ = _join_positions(outer.schema, inner.schema, conditions)
+    out: List[Row] = []
+    for orow in outer:
+        key = tuple(orow[i] for i in outer_pos)
+        for irow in index.lookup(key):
+            out.append(orow + irow)
+    return Relation(schema, _residual_filter(out, schema, residual))
+
+
+# ------------------------------------------------------------------ set/bag ops
+
+def union_all(*relations: Relation) -> Relation:
+    """Multiset union of any number of inputs."""
+    if not relations:
+        raise ValueError("union_all needs at least one input")
+    result = relations[0]
+    for other in relations[1:]:
+        result = result.union_all(other)
+    return result
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Multiset difference (one copy removed per match)."""
+    return left.difference(right)
+
+
+def distinct(relation: Relation) -> Relation:
+    """Duplicate elimination."""
+    return relation.distinct()
+
+
+# ----------------------------------------------------------------- aggregation
+
+def _aggregate_schema(
+    input_schema: Schema, group_by: Sequence[str], aggregates: Sequence[AggregateSpec]
+) -> Schema:
+    columns: List[Column] = [input_schema.column(g) for g in group_by]
+    for agg in aggregates:
+        ctype = ColumnType.INTEGER if agg.func is AggregateFunc.COUNT else ColumnType.FLOAT
+        columns.append(Column(agg.alias, ctype))
+    return Schema(tuple(columns))
+
+
+def _compute_aggregate(func: AggregateFunc, values: List[Any], count: int) -> Any:
+    if func is AggregateFunc.COUNT:
+        return count
+    if not values:
+        return None
+    if func is AggregateFunc.SUM:
+        return _stable_sum(values)
+    if func is AggregateFunc.MIN:
+        return min(values)
+    if func is AggregateFunc.MAX:
+        return max(values)
+    if func is AggregateFunc.AVG:
+        return _stable_sum(values) / len(values)
+    raise ValueError(f"unknown aggregate {func}")
+
+
+def _stable_sum(values: List[Any]):
+    """Sum that is independent of input order.
+
+    Incremental maintenance recomputes affected groups from rows it sees in a
+    different order than full recomputation does; ``math.fsum`` returns the
+    correctly rounded float sum regardless of order, so the two strategies
+    produce bit-identical aggregate values (integer inputs keep integer sums).
+    """
+    if all(isinstance(v, int) and not isinstance(v, bool) for v in values):
+        return sum(values)
+    return math.fsum(values)
+
+
+def aggregate(
+    relation: Relation,
+    group_by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> Relation:
+    """Hash group-by with the requested aggregate columns.
+
+    With an empty ``group_by`` the result has exactly one row (even over an
+    empty input, matching SQL semantics for scalar aggregates — except COUNT
+    which is 0 and SUM/MIN/MAX/AVG which are None).
+    """
+    schema = relation.schema
+    group_pos = schema.positions(group_by)
+    agg_pos = [schema.index_of(a.column) if a.column else None for a in aggregates]
+    out_schema = _aggregate_schema(schema, group_by, aggregates)
+
+    groups: Dict[Tuple[Any, ...], List[Row]] = defaultdict(list)
+    for row in relation:
+        groups[tuple(row[i] for i in group_pos)].append(row)
+    if not group_by and not groups:
+        groups[()] = []
+
+    out: List[Row] = []
+    for key, rows in groups.items():
+        values: List[Any] = list(key)
+        for spec, pos in zip(aggregates, agg_pos):
+            column_values = [r[pos] for r in rows if pos is not None and r[pos] is not None]
+            values.append(_compute_aggregate(spec.func, column_values, len(rows)))
+        out.append(tuple(values))
+    return Relation(out_schema, out)
+
+
+def sort(relation: Relation, columns: Sequence[str]) -> Relation:
+    """Sort a relation on ``columns`` ascending."""
+    return relation.sorted_by(columns)
+
+
+#: Dispatch table used by the executor when a physical plan names an algorithm.
+JOIN_ALGORITHMS: Dict[str, Callable[..., Relation]] = {
+    "nested_loop": nested_loop_join,
+    "hash": hash_join,
+    "merge": merge_join,
+}

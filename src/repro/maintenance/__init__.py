@@ -1,0 +1,50 @@
+"""View-maintenance optimization — the paper's core contribution.
+
+Public entry points:
+
+* :class:`ViewMaintenanceOptimizer` — builds the AND-OR DAG over a set of
+  view definitions, annotates it with differentials, and runs either the
+  ``NoGreedy`` baseline (per-view recompute-vs-incremental choice) or the
+  full ``Greedy`` selection of extra temporary/permanent materializations
+  and indexes.
+* :class:`UpdateSpec` — the batch of updates to propagate (the paper's
+  "update percentage" with a 2:1 insert:delete ratio is
+  :meth:`UpdateSpec.uniform`).
+* :class:`ViewRefresher` — the executable refresh engine used to verify that
+  incremental maintenance matches recomputation tuple-for-tuple.
+"""
+
+from repro.maintenance.update_spec import RelationUpdate, UpdateSpec
+from repro.maintenance.diff_dag import DeltaCatalog, DifferentialAnnotations, ResultKey
+from repro.maintenance.cost_engine import MaintenanceCostEngine
+from repro.maintenance.candidates import Candidate, enumerate_candidates
+from repro.maintenance.greedy import GreedySelection, GreedyViewSelector, SelectedResult
+from repro.maintenance.plan_selection import (
+    MaintenancePlan,
+    ViewMaintenanceDecision,
+    select_maintenance_plan,
+)
+from repro.maintenance.maintainer import RefreshReport, ViewRefresher, apply_and_refresh
+from repro.maintenance.optimizer import OptimizationResult, ViewMaintenanceOptimizer
+
+__all__ = [
+    "RelationUpdate",
+    "UpdateSpec",
+    "DeltaCatalog",
+    "DifferentialAnnotations",
+    "ResultKey",
+    "MaintenanceCostEngine",
+    "Candidate",
+    "enumerate_candidates",
+    "GreedySelection",
+    "GreedyViewSelector",
+    "SelectedResult",
+    "MaintenancePlan",
+    "ViewMaintenanceDecision",
+    "select_maintenance_plan",
+    "RefreshReport",
+    "ViewRefresher",
+    "apply_and_refresh",
+    "OptimizationResult",
+    "ViewMaintenanceOptimizer",
+]

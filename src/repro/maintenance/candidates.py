@@ -1,0 +1,138 @@
+"""Candidate enumeration for the greedy materialization algorithm.
+
+The greedy algorithm of paper §6 chooses among:
+
+* **full results** of equivalence nodes (shared sub-expressions, extra
+  views) — these may end up *temporarily* materialized (if recomputation is
+  cheaper) or *permanently* materialized (if incremental maintenance is
+  cheaper);
+* **differential results** ``δ(e, i)`` — always temporary, used to share a
+  differential between several consumers;
+* **indexes** on base relations or on materialized results — modelled as
+  physical properties whose presence changes join and merge costs (§4.3).
+
+This module enumerates those candidates from the DAG.  The number of
+candidates grows quickly with query size (the paper notes it grows
+exponentially with the number of relations), so simple pruning switches are
+provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.maintenance.diff_dag import DifferentialAnnotations, ResultKey
+from repro.optimizer.dag import Dag, EquivalenceNode, OperatorKind
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One thing the greedy algorithm may decide to materialize.
+
+    ``kind`` is ``"result"`` (full or differential result, identified by
+    ``key``) or ``"index"`` (an index on ``columns`` of node ``node_id``).
+    """
+
+    kind: str
+    node_id: int
+    key: Optional[ResultKey] = None
+    columns: Tuple[str, ...] = ()
+
+    def describe(self, dag: Optional[Dag] = None) -> str:
+        """Readable rendering used in reports."""
+        if self.kind == "index":
+            label = f"e{self.node_id}"
+            if dag is not None:
+                node = dag.node(self.node_id)
+                if node.is_base_relation:
+                    label = node.expression.canonical()
+                elif node.view_name:
+                    label = node.view_name
+            return f"index({label}: {','.join(self.columns)})"
+        assert self.key is not None
+        return self.key.describe(dag)
+
+
+def _join_columns_per_node(dag: Dag) -> Dict[int, Set[str]]:
+    """For every equivalence node, the join columns an index on it could serve.
+
+    Two sources: columns through which a parent operation joins the node
+    (useful for probing the node from a differential), and — for non-base
+    nodes, including the view roots themselves — any join-condition column
+    present in the node's schema (useful for locating affected tuples when
+    merging differentials into the stored result).
+    """
+    all_join_columns: Set[str] = set()
+    columns: Dict[int, Set[str]] = {}
+    for operation in dag.operation_nodes:
+        if operation.operator.kind is not OperatorKind.JOIN:
+            continue
+        left, right = operation.inputs
+        for (a, b) in operation.operator.conditions:
+            all_join_columns.update((a, b))
+            for node, column in ((left, a), (left, b), (right, a), (right, b)):
+                if column in node.schema:
+                    columns.setdefault(node.id, set()).add(column)
+    for node in dag.equivalence_nodes:
+        if node.is_base_relation:
+            continue
+        for column in all_join_columns:
+            if column in node.schema:
+                columns.setdefault(node.id, set()).add(column)
+    return columns
+
+
+def enumerate_candidates(
+    dag: Dag,
+    catalog: Catalog,
+    annotations: Optional[DifferentialAnnotations] = None,
+    initial: Optional[Iterable[ResultKey]] = None,
+    include_full_results: bool = True,
+    include_differentials: bool = False,
+    include_indexes: bool = True,
+    max_candidates: Optional[int] = None,
+) -> List[Candidate]:
+    """Enumerate materialization candidates for the greedy algorithm.
+
+    ``initial`` is the set of results already materialized (the given views);
+    they are not offered again.  Base relations are never candidates (they
+    are stored by definition), and equivalence nodes that are referenced by
+    only one operation *and* are not view roots are ordinarily still useful
+    candidates (a node used once can still be worth materializing permanently
+    to speed up maintenance — the paper drops RSSB00's sharability pruning
+    for exactly this reason, §6.2), so no sharability filter is applied.
+    """
+    already = {key for key in (initial or ())}
+    candidates: List[Candidate] = []
+
+    if include_full_results or include_differentials:
+        for node in dag.equivalence_nodes:
+            if node.is_base_relation:
+                continue
+            key = ResultKey(node.id, 0)
+            if include_full_results and key not in already:
+                candidates.append(Candidate("result", node.id, key=key))
+            if include_differentials and annotations is not None:
+                for update in annotations.updates():
+                    if update.relation not in node.base_relations:
+                        continue
+                    diff_key = ResultKey(node.id, update.number)
+                    if diff_key not in already:
+                        candidates.append(Candidate("result", node.id, key=diff_key))
+
+    if include_indexes:
+        join_columns = _join_columns_per_node(dag)
+        for node in dag.equivalence_nodes:
+            columns = join_columns.get(node.id, set())
+            for column in sorted(columns):
+                if node.is_base_relation:
+                    relation = node.expression.canonical()
+                    if catalog.has_index_on(relation, [column]):
+                        continue
+                candidates.append(Candidate("index", node.id, columns=(column,)))
+
+    if max_candidates is not None and len(candidates) > max_candidates:
+        candidates = candidates[:max_candidates]
+    return candidates

@@ -1,0 +1,542 @@
+"""The maintenance cost engine.
+
+This module implements the cost recurrences of paper §5 and §6 over the
+AND-OR DAG, for a given set of materialized results ``M``:
+
+* ``compcost(e, M)`` — cost of recomputing a node's full result, reusing
+  materialized inputs where cheaper (§5.1);
+* ``diffCost(e, M, i)`` — cost of computing the node's differential with
+  respect to update ``i``, combining differential children, full children
+  and the local differential operation cost (§5.3);
+* ``totalDiffCost``, ``maintcost``, ``matcost``, ``mergeCost`` and the
+  per-result ``cost(x, M)`` used by the greedy algorithm (§6.1).
+
+The engine keeps memoized cost tables and supports the **incremental cost
+update** optimization of §6.2: when a result is (un)materialized only the
+affected entries — the ancestors of the changed node, and only the matching
+update number for differential results — are invalidated.  A
+:meth:`speculative` context manager snapshots the state so the greedy
+algorithm can price "what if I also materialized x?" cheaply and roll back.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.statistics import TableStats, estimate_join_cardinality, merge_column_stats
+from repro.maintenance.diff_dag import DifferentialAnnotations, ResultKey
+from repro.maintenance.update_spec import UpdateSpec
+from repro.optimizer.cost_model import CostModel, InputDescriptor
+from repro.optimizer.dag import Dag, EquivalenceNode, OperationNode, OperatorKind
+from repro.storage.delta import UpdateId
+
+INFINITY = math.inf
+
+
+class MaintenanceCostEngine:
+    """Costs full results, differentials and maintenance under a materialized set."""
+
+    def __init__(
+        self,
+        dag: Dag,
+        catalog: Catalog,
+        spec: UpdateSpec,
+        cost_model: Optional[CostModel] = None,
+        annotations: Optional[DifferentialAnnotations] = None,
+    ) -> None:
+        self.dag = dag
+        self.catalog = catalog
+        self.spec = spec
+        self.cost_model = cost_model or CostModel()
+        self.annotations = annotations or DifferentialAnnotations(dag, catalog, spec)
+
+        #: Materialized results (full results and differentials).
+        self.materialized: Set[ResultKey] = set()
+        #: Extra indexes keyed by equivalence node id -> set of column tuples.
+        #: (Indexes on base relations already in the catalog are always seen.)
+        self.indexes: Dict[int, Set[Tuple[str, ...]]] = {}
+
+        # Memoized cost tables and chosen algorithms (for plan explanation).
+        self._full_cost: Dict[int, float] = {}
+        self._full_choice: Dict[int, Tuple[Optional[int], str]] = {}
+        self._diff_cost: Dict[Tuple[int, int], float] = {}
+        self._diff_choice: Dict[Tuple[int, int], Tuple[Optional[int], str]] = {}
+
+    # ------------------------------------------------------------------ set-up
+
+    def set_materialized(self, keys: Iterable[ResultKey]) -> None:
+        """Replace the materialized set and clear all cached costs."""
+        self.materialized = set(keys)
+        self.reset_cache()
+
+    def add_materialized(self, key: ResultKey) -> None:
+        """Materialize one more result, invalidating only affected entries."""
+        if key in self.materialized:
+            return
+        self.materialized.add(key)
+        self._invalidate_for(key)
+
+    def remove_materialized(self, key: ResultKey) -> None:
+        """Un-materialize a result, invalidating only affected entries."""
+        if key not in self.materialized:
+            return
+        self.materialized.discard(key)
+        self._invalidate_for(key)
+
+    def add_index(self, node_id: int, columns: Sequence[str]) -> None:
+        """Make an index on ``columns`` of node ``node_id`` available to plans."""
+        self.indexes.setdefault(node_id, set()).add(tuple(columns))
+        self._invalidate_node_and_ancestors(node_id, updates=None)
+
+    def remove_index(self, node_id: int, columns: Sequence[str]) -> None:
+        """Remove a previously added index."""
+        cols = self.indexes.get(node_id)
+        if cols and tuple(columns) in cols:
+            cols.discard(tuple(columns))
+            if not cols:
+                del self.indexes[node_id]
+            self._invalidate_node_and_ancestors(node_id, updates=None)
+
+    def reset_cache(self) -> None:
+        """Drop every memoized cost (used after wholesale state changes)."""
+        self._full_cost.clear()
+        self._full_choice.clear()
+        self._diff_cost.clear()
+        self._diff_choice.clear()
+
+    # ----------------------------------------------------- incremental updates
+
+    def _invalidate_for(self, key: ResultKey) -> None:
+        if key.is_full:
+            self._invalidate_node_and_ancestors(key.node_id, updates=None)
+        else:
+            self._invalidate_node_and_ancestors(key.node_id, updates=[key.update])
+
+    def _invalidate_node_and_ancestors(self, node_id: int, updates: Optional[List[int]]) -> None:
+        """Incremental cost update (§6.2): drop cached entries that may change.
+
+        ``updates=None`` invalidates full-result entries and every
+        differential entry; a list restricts invalidation to those update
+        numbers (materializing δ(v, i) can only change δ(·, i) plans of v's
+        ancestors).
+        """
+        affected = {node_id} | self.dag.ancestors_of(self.dag.node(node_id))
+        for nid in affected:
+            if updates is None:
+                self._full_cost.pop(nid, None)
+                self._full_choice.pop(nid, None)
+                for update in self.annotations.updates():
+                    self._diff_cost.pop((nid, update.number), None)
+                    self._diff_choice.pop((nid, update.number), None)
+            else:
+                for number in updates:
+                    self._diff_cost.pop((nid, number), None)
+                    self._diff_choice.pop((nid, number), None)
+
+    @contextmanager
+    def speculative(self):
+        """Snapshot the engine state, yield, then restore it.
+
+        Used by the greedy loop's benefit computation: costs are recomputed
+        incrementally inside the block and rolled back afterwards.
+        """
+        saved = (
+            set(self.materialized),
+            {k: set(v) for k, v in self.indexes.items()},
+            dict(self._full_cost),
+            dict(self._full_choice),
+            dict(self._diff_cost),
+            dict(self._diff_choice),
+        )
+        try:
+            yield self
+        finally:
+            (
+                self.materialized,
+                self.indexes,
+                self._full_cost,
+                self._full_choice,
+                self._diff_cost,
+                self._diff_choice,
+            ) = saved
+
+    # ------------------------------------------------------------- descriptors
+
+    def _node_indexes(self, node: EquivalenceNode) -> List[Tuple[str, ...]]:
+        indexed: List[Tuple[str, ...]] = []
+        if node.is_base_relation:
+            relation = node.expression.canonical()
+            for index in self.catalog.indexes(relation):
+                indexed.append(tuple(index.columns))
+        indexed.extend(self.indexes.get(node.id, ()))
+        return indexed
+
+    def _full_descriptor(self, node: EquivalenceNode) -> InputDescriptor:
+        stored = node.is_base_relation or ResultKey(node.id, 0) in self.materialized
+        sorted_on: Tuple[str, ...] = ()
+        if node.is_base_relation:
+            for index in self.catalog.indexes(node.expression.canonical()):
+                if index.kind == "btree":
+                    sorted_on = tuple(index.columns)
+                    break
+        return InputDescriptor(
+            stats=node.stats,
+            stored=stored,
+            indexed_columns=tuple(self._node_indexes(node)),
+            sorted_on=sorted_on,
+        )
+
+    def _delta_descriptor(self, node: EquivalenceNode, update: UpdateId) -> InputDescriptor:
+        stats = self.annotations.delta_stats(node.id, update.number)
+        stored = ResultKey(node.id, update.number) in self.materialized
+        return InputDescriptor(stats=stats, stored=stored)
+
+    # --------------------------------------------------------------- compcost
+
+    def compcost(self, node_id: int) -> float:
+        """``compcost(e, M)`` — cost of computing the node's full result."""
+        cached = self._full_cost.get(node_id)
+        if cached is not None:
+            return cached
+        in_progress: Set[int] = set()
+
+        def compute(node: EquivalenceNode) -> float:
+            cached_inner = self._full_cost.get(node.id)
+            if cached_inner is not None:
+                return cached_inner
+            if node.id in in_progress:
+                return INFINITY
+            in_progress.add(node.id)
+            if not node.children:
+                best, choice = 0.0, (None, "stored")
+            else:
+                best = INFINITY
+                choice = (None, "")
+                for operation in node.children:
+                    input_costs = [self._full_input_cost(child, compute) for child in operation.inputs]
+                    if any(c >= INFINITY for c in input_costs):
+                        continue
+                    total, algorithm = self._op_full_cost(operation, input_costs)
+                    if total < best:
+                        best = total
+                        choice = (operation.id, algorithm)
+            in_progress.discard(node.id)
+            self._full_cost[node.id] = best
+            self._full_choice[node.id] = choice
+            return best
+
+        return compute(self.dag.node(node_id))
+
+    def _full_input_cost(self, node: EquivalenceNode, compute) -> float:
+        """``C(e, M)`` for a full-result input."""
+        cost = compute(node)
+        if ResultKey(node.id, 0) in self.materialized:
+            return min(cost, self.cost_model.reuse_cost(node.stats))
+        return cost
+
+    def full_input_cost(self, node_id: int) -> float:
+        """Public ``C(e, M)``: min of recomputation and reuse."""
+        node = self.dag.node(node_id)
+        cost = self.compcost(node_id)
+        if ResultKey(node_id, 0) in self.materialized:
+            return min(cost, self.cost_model.reuse_cost(node.stats))
+        return cost
+
+    def _op_full_cost(self, operation: OperationNode, input_costs: Sequence[float]) -> Tuple[float, str]:
+        cm = self.cost_model
+        op = operation.operator
+        output = operation.parent.stats
+        inputs = [node.stats for node in operation.inputs]
+        access = sum(input_costs)
+        if op.kind is OperatorKind.SCAN:
+            return cm.scan_cost(self.catalog.stats(op.relation)), "scan"
+        if op.kind is OperatorKind.SELECT:
+            return access + cm.select_cost(inputs[0], output), "filter"
+        if op.kind is OperatorKind.PROJECT:
+            return access + cm.project_cost(inputs[0], output), "project"
+        if op.kind is OperatorKind.JOIN:
+            left = self._full_descriptor(operation.inputs[0])
+            right = self._full_descriptor(operation.inputs[1])
+            return cm.join_cost(op.conditions, left, right, output, input_costs[0], input_costs[1])
+        if op.kind is OperatorKind.AGGREGATE:
+            return access + cm.aggregate_cost(inputs[0], output), "hash_aggregate"
+        if op.kind is OperatorKind.UNION:
+            return access + cm.union_cost(inputs, output), "append"
+        if op.kind is OperatorKind.DIFFERENCE:
+            return access + cm.difference_cost(inputs[0], inputs[1], output), "hash_difference"
+        if op.kind is OperatorKind.DISTINCT:
+            return access + cm.distinct_cost(inputs[0], output), "hash_distinct"
+        raise ValueError(f"unknown operator kind {op.kind}")
+
+    # --------------------------------------------------------------- diffCost
+
+    def diffcost(self, node_id: int, update_number: int) -> float:
+        """``diffCost(e, M, i)`` — cost of computing one differential of the node."""
+        node = self.dag.node(node_id)
+        update = self.annotations.update_by_number(update_number)
+        if update.relation not in node.base_relations:
+            return 0.0
+        cached = self._diff_cost.get((node_id, update_number))
+        if cached is not None:
+            return cached
+        in_progress: Set[int] = set()
+
+        def compute(inner: EquivalenceNode) -> float:
+            if update.relation not in inner.base_relations:
+                return 0.0
+            key = (inner.id, update_number)
+            cached_inner = self._diff_cost.get(key)
+            if cached_inner is not None:
+                return cached_inner
+            if inner.id in in_progress:
+                return INFINITY
+            in_progress.add(inner.id)
+            if not inner.children:
+                best, choice = 0.0, (None, "stored-delta")
+            else:
+                best = INFINITY
+                choice = (None, "")
+                for operation in inner.children:
+                    total, algorithm = self._op_diff_cost(operation, update, compute)
+                    if total < best:
+                        best = total
+                        choice = (operation.id, algorithm)
+            in_progress.discard(inner.id)
+            self._diff_cost[key] = best
+            self._diff_choice[key] = choice
+            return best
+
+        return compute(node)
+
+    def _diff_input_cost(self, node: EquivalenceNode, update: UpdateId, compute) -> float:
+        """``C(e, M, i)`` for a differential input (§5.3)."""
+        cost = compute(node)
+        if ResultKey(node.id, update.number) in self.materialized:
+            reuse = self.cost_model.reuse_cost(self.annotations.delta_stats(node.id, update.number))
+            return min(cost, reuse)
+        return cost
+
+    def diff_input_cost(self, node_id: int, update_number: int) -> float:
+        """Public ``C(e, M, i)``."""
+        node = self.dag.node(node_id)
+        update = self.annotations.update_by_number(update_number)
+        cost = self.diffcost(node_id, update_number)
+        if ResultKey(node_id, update_number) in self.materialized:
+            reuse = self.cost_model.reuse_cost(self.annotations.delta_stats(node_id, update_number))
+            return min(cost, reuse)
+        return cost
+
+    def _op_diff_cost(self, operation: OperationNode, update: UpdateId, compute) -> Tuple[float, str]:
+        """``diffCost`` of one operation node w.r.t. one update."""
+        cm = self.cost_model
+        op = operation.operator
+        parent = operation.parent
+        out_delta = self.annotations.delta_stats(parent.id, update.number)
+
+        if op.kind is OperatorKind.SCAN:
+            if op.relation != update.relation:
+                return INFINITY, ""
+            return cm.scan_cost(self.annotations.relation_delta_stats(update)), "delta-scan"
+
+        if op.kind in (OperatorKind.SELECT, OperatorKind.PROJECT):
+            child = operation.inputs[0]
+            access = self._diff_input_cost(child, update, compute)
+            child_delta = self.annotations.delta_stats(child.id, update.number)
+            if op.kind is OperatorKind.SELECT:
+                local = cm.select_cost(child_delta, out_delta)
+            else:
+                local = cm.project_cost(child_delta, out_delta)
+            return access + local, "delta-filter"
+
+        if op.kind is OperatorKind.JOIN:
+            return self._join_diff_cost(operation, update, compute)
+
+        if op.kind is OperatorKind.AGGREGATE:
+            child = operation.inputs[0]
+            access = self._diff_input_cost(child, update, compute)
+            child_delta = self.annotations.delta_stats(child.id, update.number)
+            local = cm.aggregate_cost(child_delta, out_delta)
+            if ResultKey(parent.id, 0) in self.materialized:
+                # The old aggregate rows for the affected groups come from the
+                # stored result: one probe per affected group.
+                probe = out_delta.cardinality * cm.parameters.cpu_probe_time
+                return access + local + probe, "delta-aggregate"
+            # Otherwise affected groups have to be recomputed from the full
+            # child result (§3.1.2) — essentially as expensive as recomputing.
+            full_child = self.full_input_cost(child.id)
+            recompute = cm.aggregate_cost(child.stats, parent.stats)
+            return access + local + full_child + recompute, "recompute-affected-groups"
+
+        if op.kind is OperatorKind.UNION:
+            dependent = [c for c in operation.inputs if update.relation in c.base_relations]
+            access = sum(self._diff_input_cost(c, update, compute) for c in dependent)
+            deltas = [self.annotations.delta_stats(c.id, update.number) for c in dependent]
+            return access + cm.union_cost(deltas, out_delta), "delta-append"
+
+        if op.kind in (OperatorKind.DIFFERENCE, OperatorKind.DISTINCT):
+            # Conservative: differentials of these operators need old and new
+            # input results; price them as recomputation over the inputs.
+            access = sum(self.full_input_cost(c.id) for c in operation.inputs)
+            access += sum(
+                self._diff_input_cost(c, update, compute)
+                for c in operation.inputs
+                if update.relation in c.base_relations
+            )
+            inputs = [c.stats for c in operation.inputs]
+            if op.kind is OperatorKind.DIFFERENCE:
+                local = cm.difference_cost(inputs[0], inputs[1], parent.stats)
+            else:
+                local = cm.distinct_cost(inputs[0], parent.stats)
+            return access + local, "delta-recompute"
+
+        raise ValueError(f"unknown operator kind {op.kind}")
+
+    def _join_diff_cost(self, operation: OperationNode, update: UpdateId, compute) -> Tuple[float, str]:
+        cm = self.cost_model
+        op = operation.operator
+        parent = operation.parent
+        out_delta = self.annotations.delta_stats(parent.id, update.number)
+        left, right = operation.inputs
+        left_dep = update.relation in left.base_relations
+        right_dep = update.relation in right.base_relations
+
+        if left_dep and not right_dep:
+            cost, algorithm = cm.join_cost(
+                op.conditions,
+                self._delta_descriptor(left, update),
+                self._full_descriptor(right),
+                out_delta,
+                self._diff_input_cost(left, update, compute),
+                self.full_input_cost(right.id),
+            )
+            return cost, f"delta-{algorithm}"
+        if right_dep and not left_dep:
+            cost, algorithm = cm.join_cost(
+                op.conditions,
+                self._full_descriptor(left),
+                self._delta_descriptor(right, update),
+                out_delta,
+                self.full_input_cost(left.id),
+                self._diff_input_cost(right, update, compute),
+            )
+            return cost, f"delta-{algorithm}"
+
+        # Both inputs change: the join becomes a union of two joins,
+        # (δE1 ⋈ E2_old) ∪ (E1_new ⋈ δE2)  — paper §5.3.
+        left_delta_stats = self.annotations.delta_stats(left.id, update.number)
+        right_delta_stats = self.annotations.delta_stats(right.id, update.number)
+        part1 = TableStats(
+            estimate_join_cardinality(left_delta_stats, right.stats, op.conditions),
+            left_delta_stats.tuple_width + right.stats.tuple_width,
+            merge_column_stats(left_delta_stats.column_stats, right.stats.column_stats),
+        )
+        part2 = TableStats(
+            estimate_join_cardinality(left.stats, right_delta_stats, op.conditions),
+            left.stats.tuple_width + right_delta_stats.tuple_width,
+            merge_column_stats(left.stats.column_stats, right_delta_stats.column_stats),
+        )
+        cost1, _ = cm.join_cost(
+            op.conditions,
+            self._delta_descriptor(left, update),
+            self._full_descriptor(right),
+            part1,
+            self._diff_input_cost(left, update, compute),
+            self.full_input_cost(right.id),
+        )
+        cost2, _ = cm.join_cost(
+            op.conditions,
+            self._full_descriptor(left),
+            self._delta_descriptor(right, update),
+            part2,
+            self.full_input_cost(left.id),
+            self._diff_input_cost(right, update, compute),
+        )
+        union = cm.union_cost([part1, part2], out_delta)
+        return cost1 + cost2 + union, "delta-join-both-sides"
+
+    # ----------------------------------------------------- maintenance costing
+
+    def total_diff_cost(self, node_id: int) -> float:
+        """``totalDiffCost(e, M)`` — sum of diffCost over all (non-empty) updates."""
+        node = self.dag.node(node_id)
+        total = 0.0
+        for update in self.annotations.updates():
+            if update.relation in node.base_relations:
+                total += self.diffcost(node_id, update.number)
+        return total
+
+    def merge_cost(self, node_id: int) -> float:
+        """``mergeCost(e)`` — cost of applying the differentials to the stored result."""
+        node = self.dag.node(node_id)
+        has_index = bool(self.indexes.get(node_id))
+        return self.cost_model.merge_cost(
+            node.stats, self.annotations.delta_stats_list(node_id), has_index=has_index
+        )
+
+    def maintcost(self, node_id: int) -> float:
+        """``maintcost(e, M)`` — incremental maintenance cost of a stored result."""
+        return self.total_diff_cost(node_id) + self.merge_cost(node_id)
+
+    def matcost(self, node_id: int, update_number: int = 0) -> float:
+        """``matcost`` — cost of writing out a (full or differential) result."""
+        if update_number == 0:
+            return self.cost_model.materialize_cost(self.dag.node(node_id).stats)
+        return self.cost_model.materialize_cost(
+            self.annotations.delta_stats(node_id, update_number)
+        )
+
+    def recompute_cost(self, node_id: int) -> float:
+        """Recomputation + storing cost of a materialized full result."""
+        return self.compcost(node_id) + self.matcost(node_id)
+
+    def result_cost(self, key: ResultKey) -> float:
+        """``cost(x, M)`` for one materialized result (paper §6.1)."""
+        if key.is_full:
+            return min(self.recompute_cost(key.node_id), self.maintcost(key.node_id))
+        return self.diffcost(key.node_id, key.update) + self.matcost(key.node_id, key.update)
+
+    def prefers_recomputation(self, node_id: int) -> bool:
+        """Whether a full result is cheaper to recompute than to maintain.
+
+        Recomputed results are *temporarily* materialized during refresh and
+        discarded; maintained results are *permanent* (paper §6.1).
+        """
+        return self.recompute_cost(node_id) <= self.maintcost(node_id)
+
+    def index_cost(self, node_id: int, columns: Sequence[str]) -> float:
+        """Maintenance cost of keeping an index on node ``node_id`` up to date."""
+        node = self.dag.node(node_id)
+        if node.is_base_relation:
+            relation = node.expression.canonical()
+            deltas = [
+                self.spec.delta_stats(self.catalog, relation, update.kind)
+                for update in self.annotations.updates()
+                if update.relation == relation
+            ]
+        else:
+            deltas = self.annotations.delta_stats_list(node_id)
+        return self.cost_model.index_maintenance_cost(deltas)
+
+    def total_cost(self, index_costs: bool = True) -> float:
+        """``cost(M, M)`` — total refresh cost of everything materialized."""
+        total = sum(self.result_cost(key) for key in self.materialized)
+        if index_costs:
+            for node_id, column_sets in self.indexes.items():
+                for columns in column_sets:
+                    total += self.index_cost(node_id, columns)
+        return total
+
+    # ------------------------------------------------------------- explanation
+
+    def chosen_full_operation(self, node_id: int) -> Tuple[Optional[int], str]:
+        """The operation id and algorithm chosen for the node's full result."""
+        self.compcost(node_id)
+        return self._full_choice.get(node_id, (None, ""))
+
+    def chosen_diff_operation(self, node_id: int, update_number: int) -> Tuple[Optional[int], str]:
+        """The operation id and algorithm chosen for one differential."""
+        self.diffcost(node_id, update_number)
+        return self._diff_choice.get((node_id, update_number), (None, ""))

@@ -1,0 +1,195 @@
+"""High-level facade: the view-maintenance optimizer.
+
+:class:`ViewMaintenanceOptimizer` ties the pieces together the way the
+paper's system does:
+
+1. build the expanded, unified AND-OR DAG over the view definitions (§4);
+2. annotate it with the ``2n`` differential entries per node (§5.2);
+3. price maintenance plans with the extended cost recurrences (§5.3);
+4. run the greedy algorithm to pick extra temporary/permanent results and
+   indexes (§6), or skip it for the ``NoGreedy`` baseline;
+5. report per-view maintenance decisions and total refresh cost.
+
+Everything downstream (the benchmark harness, the examples) goes through
+this class.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.algebra.expressions import Expression, base_relations
+from repro.catalog.catalog import Catalog
+from repro.maintenance.candidates import Candidate, enumerate_candidates
+from repro.maintenance.cost_engine import MaintenanceCostEngine
+from repro.maintenance.diff_dag import DifferentialAnnotations, ResultKey
+from repro.maintenance.greedy import GreedySelection, GreedyViewSelector
+from repro.maintenance.plan_selection import MaintenancePlan, select_maintenance_plan
+from repro.maintenance.update_spec import UpdateSpec
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.dag import Dag
+from repro.optimizer.dag_builder import DagBuilder
+
+
+@dataclass
+class OptimizationResult:
+    """Everything produced by one optimizer run."""
+
+    #: Total estimated refresh cost with the chosen configuration.
+    total_cost: float
+    #: Per-view recompute-vs-incremental decisions under the final configuration.
+    plan: MaintenancePlan
+    #: The greedy selection (None for NoGreedy runs).
+    selection: Optional[GreedySelection]
+    #: The DAG the run was performed over (exposed for inspection/plots).
+    dag: Dag
+    #: The cost engine in its final state (materialized set applied).
+    engine: MaintenanceCostEngine
+    #: Names of extra results chosen for permanent materialization.
+    permanent_results: List[str] = field(default_factory=list)
+    #: Names of extra results chosen for temporary materialization.
+    temporary_results: List[str] = field(default_factory=list)
+    #: Chosen indexes rendered as readable strings.
+    indexes: List[str] = field(default_factory=list)
+    #: Wall-clock optimization time in seconds.
+    optimization_seconds: float = 0.0
+
+    @property
+    def extra_materializations(self) -> int:
+        """Number of extra results (not indexes) selected."""
+        return len(self.permanent_results) + len(self.temporary_results)
+
+
+class ViewMaintenanceOptimizer:
+    """Finds efficient maintenance plans for a set of materialized views."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: Optional[CostModel] = None,
+        include_differential_candidates: bool = False,
+        include_index_candidates: bool = True,
+        use_monotonicity: bool = True,
+        expand_joins: bool = True,
+        enable_subsumption: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.cost_model = cost_model or CostModel()
+        self.include_differential_candidates = include_differential_candidates
+        self.include_index_candidates = include_index_candidates
+        self.use_monotonicity = use_monotonicity
+        self.expand_joins = expand_joins
+        self.enable_subsumption = enable_subsumption
+
+    # ------------------------------------------------------------ construction
+
+    def build(self, views: Mapping[str, Expression], spec: UpdateSpec) -> Tuple[Dag, MaintenanceCostEngine]:
+        """Build the DAG and the differential cost engine for ``views``."""
+        builder = DagBuilder(
+            self.catalog,
+            expand_joins=self.expand_joins,
+            enable_subsumption=self.enable_subsumption,
+        )
+        for name, expression in views.items():
+            builder.add_query(name, expression)
+        dag = builder.finish()
+
+        relations = sorted({r for expr in views.values() for r in base_relations(expr)})
+        restricted = spec.restricted_to(relations)
+        annotations = DifferentialAnnotations(dag, self.catalog, restricted)
+        engine = MaintenanceCostEngine(
+            dag, self.catalog, restricted, cost_model=self.cost_model, annotations=annotations
+        )
+        engine.set_materialized(
+            ResultKey(dag.roots[name].id, 0) for name in views
+        )
+        return dag, engine
+
+    # ---------------------------------------------------------------- NoGreedy
+
+    def no_greedy(self, views: Mapping[str, Expression], spec: UpdateSpec) -> OptimizationResult:
+        """The baseline: per-view choice of recomputation vs incremental only."""
+        started = time.perf_counter()
+        dag, engine = self.build(views, spec)
+        plan = select_maintenance_plan(engine, {name: dag.roots[name].id for name in views})
+        return OptimizationResult(
+            total_cost=plan.total_cost,
+            plan=plan,
+            selection=None,
+            dag=dag,
+            engine=engine,
+            optimization_seconds=time.perf_counter() - started,
+        )
+
+    def no_greedy_cost(self, views: Mapping[str, Expression], spec: UpdateSpec) -> float:
+        """Convenience: the NoGreedy total refresh cost."""
+        return self.no_greedy(views, spec).total_cost
+
+    # ------------------------------------------------------------------ Greedy
+
+    def optimize(
+        self,
+        views: Mapping[str, Expression],
+        spec: UpdateSpec,
+        max_selections: Optional[int] = None,
+        extra_candidates: Optional[Sequence[Candidate]] = None,
+    ) -> OptimizationResult:
+        """Run the full greedy optimization and return the chosen configuration."""
+        started = time.perf_counter()
+        dag, engine = self.build(views, spec)
+        candidates = list(
+            enumerate_candidates(
+                dag,
+                self.catalog,
+                annotations=engine.annotations,
+                initial=engine.materialized,
+                include_full_results=True,
+                include_differentials=self.include_differential_candidates,
+                include_indexes=self.include_index_candidates,
+            )
+        )
+        if extra_candidates:
+            candidates.extend(extra_candidates)
+
+        selector = GreedyViewSelector(
+            engine, use_monotonicity=self.use_monotonicity, max_selections=max_selections
+        )
+        selection = selector.run(candidates)
+        plan = select_maintenance_plan(engine, {name: dag.roots[name].id for name in views})
+
+        permanent: List[str] = []
+        temporary: List[str] = []
+        indexes: List[str] = []
+        for chosen in selection.selections:
+            label = chosen.candidate.describe(dag)
+            if chosen.disposition == "permanent":
+                permanent.append(label)
+            elif chosen.disposition == "temporary":
+                temporary.append(label)
+            else:
+                indexes.append(label)
+
+        return OptimizationResult(
+            total_cost=plan.total_cost,
+            plan=plan,
+            selection=selection,
+            dag=dag,
+            engine=engine,
+            permanent_results=permanent,
+            temporary_results=temporary,
+            indexes=indexes,
+            optimization_seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------- comparisons
+
+    def compare(
+        self, views: Mapping[str, Expression], spec: UpdateSpec
+    ) -> Dict[str, OptimizationResult]:
+        """Run both NoGreedy and Greedy for the same workload (one figure point)."""
+        return {
+            "no_greedy": self.no_greedy(views, spec),
+            "greedy": self.optimize(views, spec),
+        }

@@ -1,0 +1,85 @@
+"""View-maintenance plan selection without extra materializations (NoGreedy).
+
+This is the paper's baseline: "plain Volcano query optimization extended to
+choose between recomputation and incremental maintenance of views" (§7.1) —
+the class into which Vista's approach falls.  Given the set of views (which
+are materialized by definition) the optimizer picks, per view, the cheaper
+of
+
+* recomputing the view from the (updated) base relations and writing it out,
+  or
+* computing its differentials one update at a time and merging them in,
+
+using the same cost engine as Greedy but with the materialized set fixed to
+the views themselves and no extra indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.maintenance.cost_engine import MaintenanceCostEngine
+from repro.maintenance.diff_dag import ResultKey
+
+
+@dataclass
+class ViewMaintenanceDecision:
+    """Chosen maintenance strategy for one view."""
+
+    view: str
+    node_id: int
+    recompute_cost: float
+    incremental_cost: float
+
+    @property
+    def strategy(self) -> str:
+        """``"recompute"`` or ``"incremental"`` — whichever is cheaper."""
+        return "recompute" if self.recompute_cost <= self.incremental_cost else "incremental"
+
+    @property
+    def cost(self) -> float:
+        """The cost of the chosen strategy."""
+        return min(self.recompute_cost, self.incremental_cost)
+
+
+@dataclass
+class MaintenancePlan:
+    """Per-view decisions plus the total refresh cost."""
+
+    decisions: List[ViewMaintenanceDecision] = field(default_factory=list)
+    total_cost: float = 0.0
+
+    def decision_for(self, view: str) -> ViewMaintenanceDecision:
+        """The decision for one view."""
+        for decision in self.decisions:
+            if decision.view == view:
+                return decision
+        raise KeyError(f"no decision recorded for view {view!r}")
+
+    def counts(self) -> Dict[str, int]:
+        """How many views chose each strategy."""
+        counts: Dict[str, int] = {"recompute": 0, "incremental": 0}
+        for decision in self.decisions:
+            counts[decision.strategy] += 1
+        return counts
+
+
+def select_maintenance_plan(engine: MaintenanceCostEngine, views: Dict[str, int]) -> MaintenancePlan:
+    """Choose recomputation vs incremental maintenance for every view.
+
+    ``views`` maps view names to their root equivalence node ids.  The
+    engine's materialized set must already contain the views' full results
+    (and whatever else the caller wants visible to the plans).
+    """
+    plan = MaintenancePlan()
+    for name, node_id in views.items():
+        decision = ViewMaintenanceDecision(
+            view=name,
+            node_id=node_id,
+            recompute_cost=engine.recompute_cost(node_id),
+            incremental_cost=engine.maintcost(node_id),
+        )
+        plan.decisions.append(decision)
+    plan.total_cost = engine.total_cost()
+    return plan

@@ -1,0 +1,173 @@
+"""Update specifications.
+
+An :class:`UpdateSpec` describes the batch of updates a refresh round has to
+propagate: for every base relation, what fraction of its tuples is inserted
+and what fraction is deleted.  The paper's experiments use a single "update
+percentage" knob with **twice as many inserts as deletes** ("a 10 percent
+update to a relation consists of inserting 10% as many tuples as are
+currently in the relation, and deleting 5% of the current tuples", §7.1);
+:meth:`UpdateSpec.uniform` reproduces exactly that convention.
+
+The spec also carries the paper's update numbering (§5.2): with relations
+``R_1 … R_n`` in a fixed order, update ``2i−1`` is the insert batch on
+``R_i`` and update ``2i`` the delete batch, and updates are propagated one at
+a time in that order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.statistics import TableStats
+from repro.storage.delta import DeltaKind, UpdateId
+
+
+@dataclass(frozen=True)
+class RelationUpdate:
+    """Insert and delete fractions for one relation."""
+
+    insert_fraction: float = 0.0
+    delete_fraction: float = 0.0
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the relation receives no updates at all."""
+        return self.insert_fraction <= 0.0 and self.delete_fraction <= 0.0
+
+    def fraction(self, kind: DeltaKind) -> float:
+        """The fraction for one update kind."""
+        return self.insert_fraction if kind is DeltaKind.INSERT else self.delete_fraction
+
+
+class UpdateSpec:
+    """Per-relation update fractions plus the paper's update numbering."""
+
+    def __init__(
+        self,
+        updates: Mapping[str, RelationUpdate],
+        relation_order: Optional[Sequence[str]] = None,
+    ) -> None:
+        self._updates: Dict[str, RelationUpdate] = dict(updates)
+        self._order: List[str] = list(relation_order) if relation_order else sorted(self._updates)
+        for name in self._updates:
+            if name not in self._order:
+                self._order.append(name)
+
+    # ------------------------------------------------------------ constructors
+
+    @staticmethod
+    def uniform(
+        update_percentage: float,
+        relations: Optional[Sequence[str]] = None,
+        insert_to_delete_ratio: float = 2.0,
+    ) -> "UpdateSpec":
+        """The paper's uniform update model.
+
+        ``update_percentage`` is expressed as a fraction (0.10 for the
+        paper's "10 percent update"): every relation gets inserts equal to
+        that fraction of its cardinality and deletes equal to that fraction
+        divided by ``insert_to_delete_ratio`` (2 by default, modelling a
+        growing database).  If ``relations`` is omitted the spec applies to
+        whichever relations the optimizer asks about.
+        """
+        if update_percentage < 0:
+            raise ValueError("update percentage must be non-negative")
+        update = RelationUpdate(
+            insert_fraction=update_percentage,
+            delete_fraction=update_percentage / insert_to_delete_ratio,
+        )
+        if relations is None:
+            return _UniformUpdateSpec(update)
+        return UpdateSpec({name: update for name in relations}, relation_order=relations)
+
+    @staticmethod
+    def none(relations: Optional[Sequence[str]] = None) -> "UpdateSpec":
+        """A spec with no updates (used for pure query workloads)."""
+        return UpdateSpec({name: RelationUpdate() for name in (relations or [])}, relations)
+
+    # ----------------------------------------------------------------- lookups
+
+    @property
+    def relation_order(self) -> List[str]:
+        """Relations in propagation order."""
+        return list(self._order)
+
+    def for_relation(self, relation: str) -> RelationUpdate:
+        """The update fractions for ``relation`` (empty if unspecified)."""
+        return self._updates.get(relation, RelationUpdate())
+
+    def updated_relations(self) -> List[str]:
+        """Relations that actually receive updates."""
+        return [name for name in self._order if not self.for_relation(name).is_empty]
+
+    def restricted_to(self, relations: Sequence[str]) -> "UpdateSpec":
+        """A spec limited to (and ordered by) the given relations."""
+        return UpdateSpec(
+            {name: self.for_relation(name) for name in relations}, relation_order=relations
+        )
+
+    # --------------------------------------------------------- update numbering
+
+    def update_ids(self, relations: Optional[Sequence[str]] = None, only_nonempty: bool = True) -> List[UpdateId]:
+        """The ``1..2n`` update ids, optionally restricted to non-empty batches."""
+        order = list(relations) if relations is not None else self._order
+        ids: List[UpdateId] = []
+        for i, relation in enumerate(order):
+            spec = self.for_relation(relation)
+            for offset, kind in ((1, DeltaKind.INSERT), (2, DeltaKind.DELETE)):
+                if only_nonempty and spec.fraction(kind) <= 0.0:
+                    continue
+                ids.append(UpdateId(2 * i + offset, relation, kind))
+        return ids
+
+    # ----------------------------------------------------------- delta sizing
+
+    def delta_stats(self, catalog: Catalog, relation: str, kind: DeltaKind) -> TableStats:
+        """Estimated statistics of the δ+ or δ− batch for ``relation``."""
+        base = catalog.stats(relation)
+        fraction = self.for_relation(relation).fraction(kind)
+        return base.scaled(fraction)
+
+    def delta_cardinality(self, catalog: Catalog, relation: str, kind: DeltaKind) -> float:
+        """Estimated number of tuples in the δ+ or δ− batch."""
+        return self.delta_stats(catalog, relation, kind).cardinality
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        parts = []
+        for relation in self._order:
+            spec = self.for_relation(relation)
+            if not spec.is_empty:
+                parts.append(
+                    f"{relation}: +{spec.insert_fraction:.0%}/-{spec.delete_fraction:.0%}"
+                )
+        return ", ".join(parts) or "no updates"
+
+
+class _UniformUpdateSpec(UpdateSpec):
+    """An update spec applying the same fractions to every relation asked about."""
+
+    def __init__(self, update: RelationUpdate) -> None:
+        super().__init__({})
+        self._uniform_update = update
+
+    def for_relation(self, relation: str) -> RelationUpdate:
+        return self._uniform_update
+
+    def restricted_to(self, relations: Sequence[str]) -> UpdateSpec:
+        return UpdateSpec({name: self._uniform_update for name in relations}, relation_order=relations)
+
+    def update_ids(self, relations: Optional[Sequence[str]] = None, only_nonempty: bool = True):
+        if relations is None:
+            return []
+        return super().update_ids(relations, only_nonempty)
+
+    def describe(self) -> str:
+        update = self._uniform_update
+        if update.is_empty:
+            return "no updates"
+        return (
+            f"every relation: +{update.insert_fraction:.1%}/-{update.delete_fraction:.1%}"
+        )

@@ -1,0 +1,23 @@
+"""Multi-query optimization (Roy et al., RSSB00).
+
+The paper builds on the RSSB00 framework: given a *batch of queries*, decide
+which shared sub-expressions to compute once, materialize temporarily, and
+reuse, using a greedy benefit heuristic over the unified AND-OR DAG.  This
+package provides that query-workload machinery (the maintenance-aware
+extension lives in :mod:`repro.maintenance`):
+
+* :mod:`repro.mqo.sharing` — detection of sub-expressions shared between
+  queries (and the sharability pruning RSSB00 applies to candidates);
+* :mod:`repro.mqo.greedy` — the greedy selection of temporary
+  materializations for a query workload, with the monotonicity optimization.
+"""
+
+from repro.mqo.sharing import shared_nodes, sharable_candidates
+from repro.mqo.greedy import MultiQueryOptimizer, MqoResult
+
+__all__ = [
+    "shared_nodes",
+    "sharable_candidates",
+    "MultiQueryOptimizer",
+    "MqoResult",
+]

@@ -1,0 +1,69 @@
+"""Shared sub-expression detection over the AND-OR DAG.
+
+A node is *shared* when it can participate in the plans of more than one
+query root.  RSSB00's "sharability" optimization only offers shared nodes as
+materialization candidates for query workloads (a result used by a single
+query is never worth materializing temporarily — computing it in place is
+always at least as good).  Note that the maintenance setting deliberately
+drops this pruning (paper §6.2): a result used once can still be worth
+materializing *permanently* to speed up maintenance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from repro.optimizer.dag import Dag, EquivalenceNode
+
+
+def _reachable_from(root: EquivalenceNode) -> Set[int]:
+    """All equivalence node ids reachable downward from ``root``."""
+    seen: Set[int] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.id in seen:
+            continue
+        seen.add(node.id)
+        for operation in node.children:
+            stack.extend(operation.inputs)
+    return seen
+
+
+def nodes_per_query(dag: Dag) -> Dict[str, Set[int]]:
+    """Map each query/view root name to the node ids reachable from it."""
+    return {name: _reachable_from(root) for name, root in dag.roots.items()}
+
+
+def shared_nodes(dag: Dag, minimum_queries: int = 2) -> List[EquivalenceNode]:
+    """Nodes reachable from at least ``minimum_queries`` different roots."""
+    per_query = nodes_per_query(dag)
+    counts: Dict[int, int] = {}
+    for reachable in per_query.values():
+        for node_id in reachable:
+            counts[node_id] = counts.get(node_id, 0) + 1
+    return [
+        node
+        for node in dag.equivalence_nodes
+        if counts.get(node.id, 0) >= minimum_queries and not node.is_base_relation
+    ]
+
+
+def sharable_candidates(dag: Dag) -> List[EquivalenceNode]:
+    """Candidate nodes for temporary materialization in a query workload.
+
+    Shared non-base nodes, excluding the query roots themselves (each root is
+    produced exactly once anyway) — RSSB00's sharability pruning.
+    """
+    roots = {node.id for node in dag.roots.values()}
+    return [node for node in shared_nodes(dag) if node.id not in roots]
+
+
+def sharing_report(dag: Dag) -> Dict[str, List[str]]:
+    """Readable report: which shared sub-expressions appear in which queries."""
+    per_query = nodes_per_query(dag)
+    report: Dict[str, List[str]] = {}
+    for node in shared_nodes(dag):
+        queries = sorted(name for name, reachable in per_query.items() if node.id in reachable)
+        report[node.key] = queries
+    return report

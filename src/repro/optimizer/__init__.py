@@ -1,0 +1,36 @@
+"""Volcano-style AND-OR DAG optimizer.
+
+This package implements the query-optimizer substrate the paper builds on:
+
+* :mod:`repro.optimizer.dag` — the AND-OR DAG data structure (equivalence
+  nodes and operation nodes);
+* :mod:`repro.optimizer.dag_builder` — construction of the expanded DAG from
+  logical expressions, with unification of logically equivalent
+  sub-expressions and join associativity/commutativity expansion (paper §4);
+* :mod:`repro.optimizer.cost_model` — the cost model (seeks, bytes read,
+  bytes written, CPU) with per-algorithm formulas for full and differential
+  operator execution;
+* :mod:`repro.optimizer.volcano` — the Volcano best-plan search extended to
+  reuse materialized results (paper §5.1);
+* :mod:`repro.optimizer.plans` — extracted physical plan trees.
+"""
+
+from repro.optimizer.dag import Dag, EquivalenceNode, OperationNode, Operator, OperatorKind
+from repro.optimizer.dag_builder import DagBuilder, build_dag
+from repro.optimizer.cost_model import CostModel, CostParameters
+from repro.optimizer.volcano import VolcanoSearch
+from repro.optimizer.plans import PlanNode
+
+__all__ = [
+    "Dag",
+    "EquivalenceNode",
+    "OperationNode",
+    "Operator",
+    "OperatorKind",
+    "DagBuilder",
+    "build_dag",
+    "CostModel",
+    "CostParameters",
+    "VolcanoSearch",
+    "PlanNode",
+]

@@ -1,0 +1,319 @@
+"""The AND-OR DAG.
+
+Following the paper (§4) and Volcano/RSSB00 terminology:
+
+* an **equivalence node** (OR-node) represents a set of logically equivalent
+  expressions — all ways of computing one result;
+* an **operation node** (AND-node) represents one algebraic operation applied
+  to input equivalence nodes.
+
+Equivalence nodes are unified by a canonical key, so the same logical result
+appearing in several views (or several times within one view's maintenance
+expression) is represented once — this is what exposes sharing to the
+multi-query optimizer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.expressions import AggregateSpec, Expression
+from repro.algebra.predicates import Predicate, TruePredicate
+from repro.catalog.schema import Schema
+from repro.catalog.statistics import TableStats
+
+
+class OperatorKind(enum.Enum):
+    """Kinds of algebraic operation an operation node can carry."""
+
+    SCAN = "scan"
+    SELECT = "select"
+    PROJECT = "project"
+    JOIN = "join"
+    AGGREGATE = "aggregate"
+    UNION = "union"
+    DIFFERENCE = "difference"
+    DISTINCT = "distinct"
+
+
+@dataclass(frozen=True)
+class Operator:
+    """The algebraic operation carried by an operation node.
+
+    Only the fields relevant to the kind are populated:
+
+    * ``SCAN`` — ``relation``
+    * ``SELECT`` — ``predicate``
+    * ``PROJECT`` — ``columns``
+    * ``JOIN`` — ``conditions`` (equi-join pairs) and ``residual``
+    * ``AGGREGATE`` — ``group_by`` and ``aggregates``
+    """
+
+    kind: OperatorKind
+    relation: Optional[str] = None
+    predicate: Optional[Predicate] = None
+    columns: Tuple[str, ...] = ()
+    conditions: Tuple[Tuple[str, str], ...] = ()
+    residual: Optional[Predicate] = None
+    group_by: Tuple[str, ...] = ()
+    aggregates: Tuple[AggregateSpec, ...] = ()
+
+    def describe(self) -> str:
+        """Short human-readable description for plan printing."""
+        if self.kind is OperatorKind.SCAN:
+            return f"scan({self.relation})"
+        if self.kind is OperatorKind.SELECT:
+            return f"σ[{self.predicate.canonical() if self.predicate else 'true'}]"
+        if self.kind is OperatorKind.PROJECT:
+            return f"π[{','.join(self.columns)}]"
+        if self.kind is OperatorKind.JOIN:
+            conds = ",".join(f"{a}={b}" for a, b in self.conditions) or "⨯"
+            return f"⋈[{conds}]"
+        if self.kind is OperatorKind.AGGREGATE:
+            aggs = ",".join(a.canonical() for a in self.aggregates)
+            return f"γ[{','.join(self.group_by)};{aggs}]"
+        return self.kind.value
+
+
+class OperationNode:
+    """An AND-node: one operation applied to input equivalence nodes."""
+
+    __slots__ = ("id", "operator", "inputs", "parent")
+
+    def __init__(
+        self,
+        node_id: int,
+        operator: Operator,
+        inputs: Tuple["EquivalenceNode", ...],
+        parent: "EquivalenceNode",
+    ) -> None:
+        self.id = node_id
+        self.operator = operator
+        self.inputs = inputs
+        self.parent = parent
+
+    def describe(self) -> str:
+        """Readable description including input node ids."""
+        ins = ",".join(f"e{i.id}" for i in self.inputs)
+        return f"o{self.id}:{self.operator.describe()}({ins})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+class EquivalenceNode:
+    """An OR-node: a set of equivalent ways of computing one result."""
+
+    __slots__ = (
+        "id",
+        "key",
+        "expression",
+        "schema",
+        "stats",
+        "children",
+        "parents",
+        "base_relations",
+        "is_base_relation",
+        "view_name",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        key: str,
+        expression: Expression,
+        schema: Schema,
+        stats: TableStats,
+        base_relations: FrozenSet[str],
+        is_base_relation: bool = False,
+    ) -> None:
+        self.id = node_id
+        self.key = key
+        #: A representative logical expression for this equivalence class.
+        self.expression = expression
+        self.schema = schema
+        self.stats = stats
+        #: Alternative operation nodes computing this result.
+        self.children: List[OperationNode] = []
+        #: Operation nodes that consume this result.
+        self.parents: List[OperationNode] = []
+        self.base_relations = base_relations
+        self.is_base_relation = is_base_relation
+        #: Set when this node is the root of a named materialized view.
+        self.view_name: Optional[str] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node has no operation children (a stored relation)."""
+        return not self.children
+
+    def depends_on(self, relation: str) -> bool:
+        """Whether the result depends on base relation ``relation``."""
+        return relation in self.base_relations
+
+    def describe(self) -> str:
+        """Readable one-line description."""
+        kind = "base" if self.is_base_relation else f"{len(self.children)} alt"
+        return f"e{self.id}[{kind}] {self.key}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+class Dag:
+    """The full AND-OR DAG for a set of queries/views."""
+
+    def __init__(self) -> None:
+        self._equivalence_nodes: Dict[int, EquivalenceNode] = {}
+        self._by_key: Dict[str, EquivalenceNode] = {}
+        self._operation_nodes: Dict[int, OperationNode] = {}
+        self._op_signatures: Set[Tuple[int, str, Tuple[int, ...]]] = set()
+        self._roots: Dict[str, EquivalenceNode] = {}
+        self._next_eq_id = 0
+        self._next_op_id = 0
+
+    # ----------------------------------------------------------------- access
+
+    @property
+    def equivalence_nodes(self) -> List[EquivalenceNode]:
+        """All equivalence nodes in creation order."""
+        return [self._equivalence_nodes[i] for i in sorted(self._equivalence_nodes)]
+
+    @property
+    def operation_nodes(self) -> List[OperationNode]:
+        """All operation nodes in creation order."""
+        return [self._operation_nodes[i] for i in sorted(self._operation_nodes)]
+
+    @property
+    def roots(self) -> Dict[str, EquivalenceNode]:
+        """Root equivalence nodes keyed by query/view name."""
+        return dict(self._roots)
+
+    def node(self, node_id: int) -> EquivalenceNode:
+        """Equivalence node by id."""
+        return self._equivalence_nodes[node_id]
+
+    def by_key(self, key: str) -> Optional[EquivalenceNode]:
+        """Equivalence node by canonical key, if present."""
+        return self._by_key.get(key)
+
+    def __len__(self) -> int:
+        return len(self._equivalence_nodes)
+
+    # ------------------------------------------------------------ construction
+
+    def get_or_create_equivalence(
+        self,
+        key: str,
+        expression: Expression,
+        schema: Schema,
+        stats: TableStats,
+        base_relations: FrozenSet[str],
+        is_base_relation: bool = False,
+    ) -> EquivalenceNode:
+        """Return the equivalence node for ``key``, creating it if new.
+
+        This is the unification point: two syntactically different but
+        logically equivalent sub-expressions map to the same key and hence
+        the same node.
+        """
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return existing
+        node = EquivalenceNode(
+            self._next_eq_id, key, expression, schema, stats, base_relations, is_base_relation
+        )
+        self._equivalence_nodes[node.id] = node
+        self._by_key[key] = node
+        self._next_eq_id += 1
+        return node
+
+    def add_operation(
+        self,
+        parent: EquivalenceNode,
+        operator: Operator,
+        inputs: Sequence[EquivalenceNode],
+    ) -> Optional[OperationNode]:
+        """Add an operation node below ``parent`` unless an identical one exists."""
+        signature = (
+            parent.id,
+            _operator_signature(operator),
+            tuple(i.id for i in inputs),
+        )
+        if signature in self._op_signatures:
+            return None
+        self._op_signatures.add(signature)
+        op = OperationNode(self._next_op_id, operator, tuple(inputs), parent)
+        self._operation_nodes[op.id] = op
+        self._next_op_id += 1
+        parent.children.append(op)
+        for child in inputs:
+            child.parents.append(op)
+        return op
+
+    def mark_root(self, name: str, node: EquivalenceNode) -> None:
+        """Mark ``node`` as the root of the query/view called ``name``."""
+        self._roots[name] = node
+        node.view_name = node.view_name or name
+
+    # -------------------------------------------------------------- traversal
+
+    def ancestors_of(self, node: EquivalenceNode) -> Set[int]:
+        """Ids of all equivalence nodes reachable upward from ``node``.
+
+        Used by the incremental cost update: when a node is (un)materialized,
+        only its ancestors' best plans can change.
+        """
+        seen: Set[int] = set()
+        frontier: List[EquivalenceNode] = [node]
+        while frontier:
+            current = frontier.pop()
+            for op in current.parents:
+                parent = op.parent
+                if parent.id not in seen:
+                    seen.add(parent.id)
+                    frontier.append(parent)
+        return seen
+
+    def topological_order(self) -> List[EquivalenceNode]:
+        """Equivalence nodes ordered children-before-parents."""
+        order: List[EquivalenceNode] = []
+        visited: Set[int] = set()
+
+        def visit(node: EquivalenceNode) -> None:
+            if node.id in visited:
+                return
+            visited.add(node.id)
+            for op in node.children:
+                for child in op.inputs:
+                    visit(child)
+            order.append(node)
+
+        for node in self.equivalence_nodes:
+            visit(node)
+        return order
+
+    def describe(self) -> str:
+        """Multi-line dump of the DAG (for debugging and documentation)."""
+        lines = []
+        for node in self.equivalence_nodes:
+            lines.append(node.describe())
+            for op in node.children:
+                lines.append(f"  {op.describe()}")
+        return "\n".join(lines)
+
+
+def _operator_signature(operator: Operator) -> str:
+    """A hashable signature for operator deduplication."""
+    parts = [operator.kind.value, operator.relation or ""]
+    if operator.predicate is not None:
+        parts.append(operator.predicate.canonical())
+    parts.append(",".join(operator.columns))
+    parts.append(";".join(f"{a}={b}" for a, b in sorted(operator.conditions)))
+    if operator.residual is not None and not isinstance(operator.residual, TruePredicate):
+        parts.append(operator.residual.canonical())
+    parts.append(",".join(operator.group_by))
+    parts.append(",".join(a.canonical() for a in operator.aggregates))
+    return "|".join(parts)

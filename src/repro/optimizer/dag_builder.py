@@ -1,0 +1,388 @@
+"""Construction of the expanded AND-OR DAG.
+
+The builder inserts queries/views one at a time (paper §4.2).  Each
+expression is normalized (selection push-down), its join trees are flattened
+into join blocks, and the block is expanded so that **every connected subset
+of the joined inputs gets one equivalence node** and every way of splitting a
+subset into two connected halves gets one operation node — the effect of
+exhaustively applying join associativity and commutativity to the initial
+query DAG (paper Figure 1(c); commutativity itself is folded into the cost
+model's choice of build/probe sides).
+
+Unification happens through canonical keys: when a second view (or a second
+sub-expression of the same view) produces a key that already exists, the
+existing equivalence node is reused, exposing the shared sub-expression to
+the multi-query optimizer.  Subsumption derivations for selections
+(``σ_{A<5}`` from ``σ_{A<10}``) and for group-bys (deriving coarser groupings
+from a finer one) are added as extra operation nodes in a post-pass.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.expressions import (
+    Aggregate,
+    BaseRelation,
+    Difference,
+    Distinct,
+    Expression,
+    Join,
+    Project,
+    Select,
+    UnionAll,
+    base_relations,
+)
+from repro.algebra.predicates import (
+    Comparison,
+    Predicate,
+    TruePredicate,
+    conjoin,
+    range_subsumes,
+)
+from repro.algebra.rewrite import (
+    JoinBlock,
+    flatten_join_block,
+    left_deep_join,
+    push_down_selections,
+)
+from repro.algebra.schema_derivation import derive_schema, derive_stats
+from repro.catalog.catalog import Catalog
+from repro.optimizer.dag import Dag, EquivalenceNode, Operator, OperatorKind
+
+
+class DagBuilder:
+    """Builds the expanded, unified AND-OR DAG for a set of expressions."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        expand_joins: bool = True,
+        enable_subsumption: bool = True,
+        max_expanded_leaves: int = 10,
+    ) -> None:
+        self.catalog = catalog
+        self.dag = Dag()
+        self.expand_joins = expand_joins
+        self.enable_subsumption = enable_subsumption
+        #: Join blocks larger than this fall back to the initial (un-expanded)
+        #: shape plus its mirror orders, to keep the DAG size bounded.
+        self.max_expanded_leaves = max_expanded_leaves
+
+    # -------------------------------------------------------------- public API
+
+    def add_query(self, name: str, expression: Expression) -> EquivalenceNode:
+        """Insert one query/view and return its root equivalence node."""
+        normalized = push_down_selections(expression, self.catalog)
+        root = self._insert(normalized)
+        self.dag.mark_root(name, root)
+        return root
+
+    def finish(self) -> Dag:
+        """Run post-passes (subsumption derivations) and return the DAG."""
+        if self.enable_subsumption:
+            self._add_selection_subsumptions()
+            self._add_groupby_subsumptions()
+        return self.dag
+
+    # -------------------------------------------------------------- insertion
+
+    def _insert(self, expression: Expression) -> EquivalenceNode:
+        if isinstance(expression, BaseRelation):
+            return self._insert_base(expression)
+        if isinstance(expression, Join):
+            return self._insert_join_block(expression)
+        if isinstance(expression, Select):
+            return self._insert_unary(
+                expression,
+                expression.child,
+                Operator(OperatorKind.SELECT, predicate=expression.predicate),
+            )
+        if isinstance(expression, Project):
+            return self._insert_unary(
+                expression, expression.child, Operator(OperatorKind.PROJECT, columns=expression.columns)
+            )
+        if isinstance(expression, Aggregate):
+            return self._insert_unary(
+                expression,
+                expression.child,
+                Operator(
+                    OperatorKind.AGGREGATE,
+                    group_by=expression.group_by,
+                    aggregates=expression.aggregates,
+                ),
+            )
+        if isinstance(expression, Distinct):
+            return self._insert_unary(expression, expression.child, Operator(OperatorKind.DISTINCT))
+        if isinstance(expression, UnionAll):
+            children = [self._insert(i) for i in expression.inputs]
+            node = self._equivalence_for(expression)
+            self.dag.add_operation(node, Operator(OperatorKind.UNION), children)
+            return node
+        if isinstance(expression, Difference):
+            left = self._insert(expression.left)
+            right = self._insert(expression.right)
+            node = self._equivalence_for(expression)
+            self.dag.add_operation(node, Operator(OperatorKind.DIFFERENCE), [left, right])
+            return node
+        raise TypeError(f"unknown expression type {type(expression).__name__}")
+
+    def _insert_base(self, expression: BaseRelation) -> EquivalenceNode:
+        node = self._equivalence_for(expression, is_base_relation=True)
+        self.dag.add_operation(node, Operator(OperatorKind.SCAN, relation=expression.name), [])
+        return node
+
+    def _insert_unary(
+        self, expression: Expression, child: Expression, operator: Operator
+    ) -> EquivalenceNode:
+        child_node = self._insert(child)
+        node = self._equivalence_for(expression)
+        self.dag.add_operation(node, operator, [child_node])
+        return node
+
+    def _equivalence_for(
+        self,
+        expression: Expression,
+        key: Optional[str] = None,
+        is_base_relation: bool = False,
+    ) -> EquivalenceNode:
+        key = key or expression.canonical()
+        return self.dag.get_or_create_equivalence(
+            key,
+            expression,
+            derive_schema(expression, self.catalog),
+            derive_stats(expression, self.catalog),
+            base_relations(expression),
+            is_base_relation=is_base_relation,
+        )
+
+    # ------------------------------------------------------------ join blocks
+
+    def _insert_join_block(self, expression: Join) -> EquivalenceNode:
+        block = flatten_join_block(expression)
+        leaf_nodes = [self._insert(leaf) for leaf in block.leaves]
+
+        if not self.expand_joins or len(block.leaves) > self.max_expanded_leaves:
+            top = self._insert_join_tree_literal(expression)
+        else:
+            top = self._expand_block(block, leaf_nodes)
+
+        if block.residuals:
+            residual = conjoin(block.residuals)
+            wrapped = Select(top.expression, residual)
+            node = self._equivalence_for(wrapped)
+            self.dag.add_operation(node, Operator(OperatorKind.SELECT, predicate=residual), [top])
+            return node
+        return top
+
+    def _insert_join_tree_literal(self, expression: Join) -> EquivalenceNode:
+        """Insert a join tree exactly as written (no associativity expansion)."""
+        left = (
+            self._insert_join_tree_literal(expression.left)
+            if isinstance(expression.left, Join)
+            else self._insert(expression.left)
+        )
+        right = (
+            self._insert_join_tree_literal(expression.right)
+            if isinstance(expression.right, Join)
+            else self._insert(expression.right)
+        )
+        node = self._equivalence_for(expression)
+        self.dag.add_operation(
+            node,
+            Operator(OperatorKind.JOIN, conditions=expression.conditions, residual=expression.residual),
+            [left, right],
+        )
+        return node
+
+    def _expand_block(self, block: JoinBlock, leaf_nodes: List[EquivalenceNode]) -> EquivalenceNode:
+        """Create equivalence nodes for every connected leaf subset."""
+        leaves = block.leaves
+        n = len(leaves)
+        if n == 1:
+            return leaf_nodes[0]
+
+        # Map each join-condition column to the leaf that provides it.
+        leaf_schemas = [derive_schema(leaf, self.catalog) for leaf in leaves]
+
+        def owner(column: str) -> Optional[int]:
+            matches = [i for i, schema in enumerate(leaf_schemas) if column in schema]
+            return matches[0] if len(matches) >= 1 else None
+
+        edges: List[Tuple[int, int, Tuple[str, str]]] = []
+        for a, b in block.conditions:
+            ia, ib = owner(a), owner(b)
+            if ia is None or ib is None or ia == ib:
+                continue
+            edges.append((ia, ib, (a, b)))
+
+        def conditions_within(subset: FrozenSet[int]) -> List[Tuple[str, str]]:
+            return [cond for ia, ib, cond in edges if ia in subset and ib in subset]
+
+        def conditions_across(
+            left: FrozenSet[int], right: FrozenSet[int]
+        ) -> List[Tuple[str, str]]:
+            across: List[Tuple[str, str]] = []
+            for ia, ib, (a, b) in edges:
+                if ia in left and ib in right:
+                    across.append((a, b))
+                elif ib in left and ia in right:
+                    across.append((b, a))
+            return across
+
+        def connected(subset: FrozenSet[int]) -> bool:
+            if len(subset) <= 1:
+                return True
+            adjacency: Dict[int, Set[int]] = {i: set() for i in subset}
+            for ia, ib, _ in edges:
+                if ia in subset and ib in subset:
+                    adjacency[ia].add(ib)
+                    adjacency[ib].add(ia)
+            seen: Set[int] = set()
+            stack = [next(iter(subset))]
+            while stack:
+                current = stack.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                stack.extend(adjacency[current] - seen)
+            return seen == set(subset)
+
+        full_set = frozenset(range(n))
+        nodes_by_subset: Dict[FrozenSet[int], EquivalenceNode] = {
+            frozenset({i}): leaf_nodes[i] for i in range(n)
+        }
+
+        def subset_key(subset: FrozenSet[int]) -> str:
+            leaf_keys = sorted(leaf_nodes[i].key for i in subset)
+            conds = sorted(
+                "=".join(sorted((a.rsplit(".", 1)[-1], b.rsplit(".", 1)[-1])))
+                for a, b in conditions_within(subset)
+            )
+            return f"joinset[{'|'.join(leaf_keys)};{','.join(conds)}]"
+
+        # Enumerate subsets by increasing size so both halves of any partition
+        # already have equivalence nodes when the partition is considered.
+        for size in range(2, n + 1):
+            for combo in itertools.combinations(range(n), size):
+                subset = frozenset(combo)
+                if not connected(subset) and subset != full_set:
+                    continue
+                representative = left_deep_join(
+                    [leaves[i] for i in subset], conditions_within(subset), self.catalog
+                )
+                node = self._equivalence_for(representative, key=subset_key(subset))
+                nodes_by_subset[subset] = node
+                # One operation node per unordered partition into two
+                # (connected) halves; commutativity is handled by the cost
+                # model choosing build/probe sides.
+                members = sorted(subset)
+                anchor = members[0]
+                others = members[1:]
+                for r in range(0, len(others)):
+                    for rest in itertools.combinations(others, r):
+                        left_part = frozenset({anchor, *rest})
+                        right_part = subset - left_part
+                        if not right_part:
+                            continue
+                        if left_part not in nodes_by_subset or right_part not in nodes_by_subset:
+                            continue
+                        across = conditions_across(left_part, right_part)
+                        if not across and subset != full_set:
+                            # Avoid creating cross products except when
+                            # unavoidable at the top of the block.
+                            continue
+                        self.dag.add_operation(
+                            node,
+                            Operator(OperatorKind.JOIN, conditions=tuple(across)),
+                            [nodes_by_subset[left_part], nodes_by_subset[right_part]],
+                        )
+        return nodes_by_subset[full_set]
+
+    # ------------------------------------------------------------ subsumption
+
+    def _add_selection_subsumptions(self) -> None:
+        """Add derivations of more-selective selections from less-selective ones."""
+        selects: List[Tuple[EquivalenceNode, Comparison, EquivalenceNode]] = []
+        for node in self.dag.equivalence_nodes:
+            for op in list(node.children):
+                if op.operator.kind is OperatorKind.SELECT and isinstance(
+                    op.operator.predicate, Comparison
+                ):
+                    selects.append((node, op.operator.predicate, op.inputs[0]))
+        for (specific_node, specific_pred, child_a) in selects:
+            for (general_node, general_pred, child_b) in selects:
+                if specific_node is general_node or child_a is not child_b:
+                    continue
+                if range_subsumes(general_pred, specific_pred):
+                    # specific = σ_specific(general): an extra way to compute it.
+                    self.dag.add_operation(
+                        specific_node,
+                        Operator(OperatorKind.SELECT, predicate=specific_pred),
+                        [general_node],
+                    )
+
+    def _add_groupby_subsumptions(self) -> None:
+        """Add derivations of coarser group-bys from finer ones.
+
+        If two aggregations over the same input group by G1 and G2 with the
+        same re-aggregable aggregate specs, introduce (if needed) the
+        aggregation over G1 ∪ G2 and derive both from it (paper §4.2).
+        """
+        from repro.algebra.expressions import AggregateFunc, AggregateSpec
+
+        reaggregable = {AggregateFunc.SUM, AggregateFunc.COUNT, AggregateFunc.MIN, AggregateFunc.MAX}
+        aggs: List[Tuple[EquivalenceNode, Tuple[str, ...], Tuple[AggregateSpec, ...], EquivalenceNode]] = []
+        for node in self.dag.equivalence_nodes:
+            for op in list(node.children):
+                if op.operator.kind is OperatorKind.AGGREGATE:
+                    aggs.append((node, op.operator.group_by, op.operator.aggregates, op.inputs[0]))
+
+        for i, (node_a, groups_a, specs_a, child_a) in enumerate(aggs):
+            for node_b, groups_b, specs_b, child_b in aggs[i + 1 :]:
+                if child_a is not child_b or node_a is node_b:
+                    continue
+                if set(groups_a) == set(groups_b):
+                    continue
+                if {s.func for s in specs_a} != {s.func for s in specs_b}:
+                    continue
+                if not all(s.func in reaggregable for s in specs_a):
+                    continue
+                union_groups = tuple(sorted(set(groups_a) | set(groups_b)))
+                union_expr = Aggregate(child_a.expression, union_groups, specs_a)
+                union_node = self._equivalence_for(union_expr)
+                if union_node.is_leaf:
+                    self.dag.add_operation(
+                        union_node,
+                        Operator(OperatorKind.AGGREGATE, group_by=union_groups, aggregates=specs_a),
+                        [child_a],
+                    )
+                for target, groups, specs in ((node_a, groups_a, specs_a), (node_b, groups_b, specs_b)):
+                    # Re-aggregating a COUNT means SUMming the partial counts.
+                    rolled = tuple(
+                        AggregateSpec(
+                            AggregateFunc.SUM if s.func is AggregateFunc.COUNT else s.func,
+                            s.alias,
+                            s.alias,
+                        )
+                        for s in specs
+                    )
+                    self.dag.add_operation(
+                        target,
+                        Operator(OperatorKind.AGGREGATE, group_by=groups, aggregates=rolled),
+                        [union_node],
+                    )
+
+
+def build_dag(
+    expressions: Dict[str, Expression],
+    catalog: Catalog,
+    expand_joins: bool = True,
+    enable_subsumption: bool = True,
+) -> Dag:
+    """Convenience wrapper: build the expanded DAG for named expressions."""
+    builder = DagBuilder(catalog, expand_joins=expand_joins, enable_subsumption=enable_subsumption)
+    for name, expression in expressions.items():
+        builder.add_query(name, expression)
+    return builder.finish()

@@ -1,0 +1,68 @@
+"""Physical plan trees extracted from the DAG by the plan search.
+
+A :class:`PlanNode` records, per step, which operation was chosen for which
+equivalence node, which join/aggregation algorithm prices it, what its
+estimated cost and cardinality are, and whether an input was satisfied by
+reusing a materialized result rather than recomputing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.catalog.statistics import TableStats
+from repro.optimizer.dag import Operator
+
+
+@dataclass
+class PlanNode:
+    """One step of an extracted plan."""
+
+    description: str
+    node_id: int
+    cost: float
+    cardinality: float
+    algorithm: str = ""
+    reused: bool = False
+    children: List["PlanNode"] = field(default_factory=list)
+
+    def total_cost(self) -> float:
+        """The cost recorded at the root (already includes the children)."""
+        return self.cost
+
+    def pretty(self, indent: int = 0) -> str:
+        """Multi-line, indented rendering of the plan."""
+        marker = " [reuse]" if self.reused else ""
+        algo = f" <{self.algorithm}>" if self.algorithm else ""
+        line = (
+            f"{'  ' * indent}{self.description}{algo}{marker}"
+            f"  (cost={self.cost:.4f}, rows={self.cardinality:.0f})"
+        )
+        lines = [line]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def count_nodes(self) -> int:
+        """Number of plan steps (used in tests)."""
+        return 1 + sum(c.count_nodes() for c in self.children)
+
+    def reused_nodes(self) -> List["PlanNode"]:
+        """All steps satisfied by reusing a materialized result."""
+        found = [self] if self.reused else []
+        for child in self.children:
+            found.extend(child.reused_nodes())
+        return found
+
+
+def reuse_plan(node_id: int, label: str, cost: float, stats: TableStats) -> PlanNode:
+    """A leaf plan step that reads a materialized result."""
+    return PlanNode(
+        description=f"reuse[{label}]",
+        node_id=node_id,
+        cost=cost,
+        cardinality=stats.cardinality,
+        algorithm="scan",
+        reused=True,
+    )

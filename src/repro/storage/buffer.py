@@ -1,0 +1,55 @@
+"""Buffer-pool model.
+
+The paper's cost model charges seeks, bytes read, bytes written and CPU, and
+its behaviour depends on whether an operator's input fits in the buffer pool
+("there is a jump in cost at one point, which is because of the use of an
+algorithm that depends on an input fitting in memory").  :class:`BufferPool`
+captures the two parameters the experiments vary: the number of buffer blocks
+(8000 in the main runs, 1000 in the buffer-size study) and the block size
+(4 KB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+
+@dataclass(frozen=True)
+class BufferPool:
+    """Descriptor of the buffer pool available to the execution engine."""
+
+    blocks: int = 8000
+    block_size: int = 4096
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total buffer capacity in bytes."""
+        return self.blocks * self.block_size
+
+    def blocks_for(self, size_bytes: float) -> float:
+        """Number of blocks needed to hold ``size_bytes`` bytes."""
+        if size_bytes <= 0:
+            return 0.0
+        return math.ceil(size_bytes / self.block_size)
+
+    def fits(self, size_bytes: float) -> bool:
+        """Whether a result of ``size_bytes`` bytes fits entirely in memory."""
+        return self.blocks_for(size_bytes) <= self.blocks
+
+    def partitions_needed(self, size_bytes: float) -> int:
+        """How many hash-join partition passes are needed for the build input.
+
+        1 means the classic in-memory hash join; larger values model Grace
+        hash-join recursion levels and drive the "jump in cost" the paper
+        observes when an input stops fitting in memory.
+        """
+        if size_bytes <= 0:
+            return 1
+        needed = self.blocks_for(size_bytes)
+        passes = 1
+        capacity = self.blocks
+        while needed > capacity and passes < 8:
+            passes += 1
+            capacity *= self.blocks
+        return passes

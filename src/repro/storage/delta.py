@@ -1,0 +1,148 @@
+"""Delta relations (δ+ and δ−).
+
+The paper assumes every base relation ``r`` has two logged delta relations,
+``δ+r`` (inserted tuples) and ``δ−r`` (deleted tuples), made available to the
+view-refresh mechanism.  :class:`Delta` pairs those two bags for one base
+relation; :class:`DeltaStore` holds the deltas of all relations involved in a
+refresh and assigns the paper's update numbering (§5.2): updates are numbered
+``1 .. 2n`` with odd numbers for inserts and even numbers for deletes,
+ordered by the relation order, and propagated one at a time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.storage.relation import Relation
+
+
+class DeltaKind(enum.Enum):
+    """Kind of a single-relation update: insertions or deletions."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+
+    @property
+    def symbol(self) -> str:
+        """The δ+/δ− rendering used in plan displays."""
+        return "δ+" if self is DeltaKind.INSERT else "δ-"
+
+
+@dataclass
+class Delta:
+    """The pair of delta relations for one base relation."""
+
+    relation: str
+    inserts: Relation
+    deletes: Relation
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether neither inserts nor deletes are present."""
+        return not len(self.inserts) and not len(self.deletes)
+
+    def part(self, kind: DeltaKind) -> Relation:
+        """The insert or delete bag."""
+        return self.inserts if kind is DeltaKind.INSERT else self.deletes
+
+
+@dataclass(frozen=True)
+class UpdateId:
+    """Identifies one of the ``2n`` single-relation updates of a refresh.
+
+    The paper numbers updates ``1 .. 2n``; entry ``2i-1`` is the insert on
+    relation ``R_i`` and entry ``2i`` the delete on ``R_i``.  ``number`` here
+    follows that convention (1-based), while ``relation``/``kind`` carry the
+    decoded meaning.  Update number ``0`` is reserved for "the full result".
+    """
+
+    number: int
+    relation: str
+    kind: DeltaKind
+
+    def __str__(self) -> str:
+        return f"{self.kind.symbol}{self.relation}"
+
+
+class DeltaStore:
+    """Deltas for all base relations touched by one refresh round.
+
+    The relation order passed to the constructor defines the paper's update
+    numbering and therefore the order in which updates are propagated
+    ("one relation at a time, one type of update at a time", §3.1.1).
+    """
+
+    def __init__(self, relation_order: Sequence[str]) -> None:
+        self._order: List[str] = list(relation_order)
+        self._deltas: Dict[str, Delta] = {}
+
+    @property
+    def relation_order(self) -> List[str]:
+        """Relations in propagation order."""
+        return list(self._order)
+
+    def set_delta(self, delta: Delta) -> None:
+        """Record the delta for one relation (must be in the relation order)."""
+        if delta.relation not in self._order:
+            raise KeyError(f"relation {delta.relation!r} not part of this refresh")
+        self._deltas[delta.relation] = delta
+
+    def delta(self, relation: str) -> Optional[Delta]:
+        """The delta for ``relation``, or ``None`` if it has no updates."""
+        return self._deltas.get(relation)
+
+    def relation_delta(self, relation: str, kind: DeltaKind) -> Relation:
+        """The δ+ or δ− bag for ``relation`` (empty relation if absent)."""
+        d = self._deltas.get(relation)
+        if d is None:
+            raise KeyError(f"no delta recorded for {relation!r}")
+        return d.part(kind)
+
+    def has_updates(self, relation: str, kind: Optional[DeltaKind] = None) -> bool:
+        """Whether ``relation`` has any (or a specific kind of) updates."""
+        d = self._deltas.get(relation)
+        if d is None:
+            return False
+        if kind is None:
+            return not d.is_empty
+        return len(d.part(kind)) > 0
+
+    # -------------------------------------------------------- update numbering
+
+    def update_ids(self, only_nonempty: bool = False) -> List[UpdateId]:
+        """The ``2n`` update ids in propagation order.
+
+        With ``only_nonempty=True``, updates whose delta bag is empty (or
+        whose relation has no recorded delta) are skipped, matching the
+        optimizer's practice of flagging null differentials.
+        """
+        ids: List[UpdateId] = []
+        for i, rel in enumerate(self._order):
+            for offset, kind in ((1, DeltaKind.INSERT), (2, DeltaKind.DELETE)):
+                number = 2 * i + offset
+                if only_nonempty and not self.has_updates(rel, kind):
+                    continue
+                ids.append(UpdateId(number, rel, kind))
+        return ids
+
+    def update_id(self, relation: str, kind: DeltaKind) -> UpdateId:
+        """The :class:`UpdateId` for a specific relation and kind."""
+        i = self._order.index(relation)
+        number = 2 * i + (1 if kind is DeltaKind.INSERT else 2)
+        return UpdateId(number, relation, kind)
+
+    def __iter__(self) -> Iterator[Delta]:
+        for rel in self._order:
+            if rel in self._deltas:
+                yield self._deltas[rel]
+
+    def __len__(self) -> int:
+        return len(self._deltas)
+
+
+def update_numbering(relations: Sequence[str]) -> List[UpdateId]:
+    """Stand-alone helper producing the paper's ``1..2n`` update numbering."""
+    store = DeltaStore(relations)
+    return store.update_ids()

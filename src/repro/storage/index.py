@@ -1,0 +1,131 @@
+"""In-memory indexes.
+
+Two access methods back the optimizer's index choices: a hash index (equality
+lookups) and a sorted index (equality + range lookups, and a sort order the
+optimizer can exploit as a physical property).  Indexes are built over a
+:class:`~repro.storage.relation.Relation` and return row positions, so the
+same index structure serves both base tables and materialized views.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.storage.relation import Relation, Row
+
+Key = Tuple[Any, ...]
+
+
+class HashIndex:
+    """Equality index mapping key tuples to lists of row positions."""
+
+    kind = "hash"
+
+    def __init__(self, relation: Relation, columns: Sequence[str]) -> None:
+        self.columns = tuple(columns)
+        self._positions = relation.schema.positions(columns)
+        self._relation = relation
+        self._buckets: Dict[Key, List[int]] = {}
+        for pos, row in enumerate(relation.rows):
+            self._buckets.setdefault(self._key(row), []).append(pos)
+
+    def _key(self, row: Row) -> Key:
+        return tuple(row[i] for i in self._positions)
+
+    def lookup(self, key: Sequence[Any]) -> List[Row]:
+        """All rows whose indexed columns equal ``key``."""
+        positions = self._buckets.get(tuple(key), [])
+        rows = self._relation.rows
+        return [rows[p] for p in positions]
+
+    def lookup_positions(self, key: Sequence[Any]) -> List[int]:
+        """Row positions matching ``key`` (used by delete maintenance)."""
+        return list(self._buckets.get(tuple(key), []))
+
+    def __contains__(self, key: Sequence[Any]) -> bool:
+        return tuple(key) in self._buckets
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._buckets.values())
+
+    @property
+    def distinct_keys(self) -> int:
+        """Number of distinct key values (feeds cardinality estimation)."""
+        return len(self._buckets)
+
+
+class SortedIndex:
+    """Sorted (B-tree-like) index supporting equality and range lookups."""
+
+    kind = "btree"
+
+    def __init__(self, relation: Relation, columns: Sequence[str]) -> None:
+        self.columns = tuple(columns)
+        self._positions = relation.schema.positions(columns)
+        self._relation = relation
+        entries = sorted(
+            ((self._key(row), pos) for pos, row in enumerate(relation.rows)),
+            key=lambda kp: kp[0],
+        )
+        self._keys: List[Key] = [k for k, _ in entries]
+        self._rowpos: List[int] = [p for _, p in entries]
+
+    def _key(self, row: Row) -> Key:
+        return tuple(row[i] for i in self._positions)
+
+    def lookup(self, key: Sequence[Any]) -> List[Row]:
+        """All rows whose indexed columns equal ``key``."""
+        key = tuple(key)
+        lo = bisect.bisect_left(self._keys, key)
+        hi = bisect.bisect_right(self._keys, key)
+        rows = self._relation.rows
+        return [rows[self._rowpos[i]] for i in range(lo, hi)]
+
+    def range(
+        self,
+        low: Optional[Sequence[Any]] = None,
+        high: Optional[Sequence[Any]] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> List[Row]:
+        """Rows whose key lies in the (possibly half-open) range [low, high]."""
+        lo = 0
+        hi = len(self._keys)
+        if low is not None:
+            low = tuple(low)
+            lo = bisect.bisect_left(self._keys, low) if include_low else bisect.bisect_right(self._keys, low)
+        if high is not None:
+            high = tuple(high)
+            hi = bisect.bisect_right(self._keys, high) if include_high else bisect.bisect_left(self._keys, high)
+        rows = self._relation.rows
+        return [rows[self._rowpos[i]] for i in range(lo, hi)]
+
+    def scan_sorted(self) -> Iterator[Row]:
+        """Yield all rows in key order (gives the optimizer a sort order)."""
+        rows = self._relation.rows
+        for pos in self._rowpos:
+            yield rows[pos]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def distinct_keys(self) -> int:
+        """Number of distinct key values."""
+        distinct = 0
+        previous: Optional[Key] = None
+        for key in self._keys:
+            if key != previous:
+                distinct += 1
+                previous = key
+        return distinct
+
+
+def build_index(relation: Relation, columns: Sequence[str], kind: str = "hash"):
+    """Build an index of the requested ``kind`` over ``columns``."""
+    if kind == "hash":
+        return HashIndex(relation, columns)
+    if kind in ("btree", "sorted"):
+        return SortedIndex(relation, columns)
+    raise ValueError(f"unknown index kind {kind!r}")

@@ -1,0 +1,164 @@
+"""Multiset (bag) relations.
+
+The paper works in the multiset relational algebra: relations may contain
+duplicate tuples, unions keep duplicates, and differences remove one matching
+copy per deleted tuple.  :class:`Relation` implements exactly those
+semantics, which the differential-maintenance tests rely on to check that
+incremental refresh produces the same bag as recomputation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import Column, ColumnType, Schema
+
+Row = Tuple[Any, ...]
+
+
+class Relation:
+    """A named bag of tuples with a schema.
+
+    Tuples are plain Python tuples whose positions correspond to the schema's
+    columns.  The bag is stored as a list, preserving insertion order (useful
+    for deterministic tests) while all comparison helpers use counted
+    multiset semantics.
+    """
+
+    def __init__(self, schema: Schema, rows: Optional[Iterable[Row]] = None, name: str = "") -> None:
+        self.schema = schema
+        self.name = name
+        self._rows: List[Row] = [tuple(r) for r in rows] if rows is not None else []
+        arity = len(schema)
+        for row in self._rows:
+            if len(row) != arity:
+                raise ValueError(
+                    f"row {row!r} has arity {len(row)}, schema expects {arity}"
+                )
+
+    # ------------------------------------------------------------ constructors
+
+    @staticmethod
+    def from_dicts(schema: Schema, dicts: Iterable[Dict[str, Any]], name: str = "") -> "Relation":
+        """Build a relation from dictionaries keyed by column name."""
+        names = schema.names
+        rows = [tuple(d.get(n, d.get(n.rsplit(".", 1)[-1])) for n in names) for d in dicts]
+        return Relation(schema, rows, name)
+
+    @staticmethod
+    def empty_like(other: "Relation", name: str = "") -> "Relation":
+        """An empty relation with the same schema as ``other``."""
+        return Relation(other.schema, [], name or other.name)
+
+    # -------------------------------------------------------------- basic bag
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    @property
+    def rows(self) -> List[Row]:
+        """The underlying list of tuples (do not mutate directly)."""
+        return self._rows
+
+    def counter(self) -> Counter:
+        """Counted multiset view of the bag."""
+        return Counter(self._rows)
+
+    def copy(self, name: str = "") -> "Relation":
+        """A shallow copy of the relation."""
+        return Relation(self.schema, list(self._rows), name or self.name)
+
+    def add(self, row: Row) -> None:
+        """Append one tuple."""
+        row = tuple(row)
+        if len(row) != len(self.schema):
+            raise ValueError(f"row {row!r} does not match schema arity {len(self.schema)}")
+        self._rows.append(row)
+
+    def extend(self, rows: Iterable[Row]) -> None:
+        """Append many tuples."""
+        for row in rows:
+            self.add(row)
+
+    # --------------------------------------------------------- bag operations
+
+    def union_all(self, other: "Relation") -> "Relation":
+        """Multiset union: concatenation of the two bags."""
+        self._check_compatible(other)
+        return Relation(self.schema, self._rows + other._rows, self.name)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Multiset difference: remove one copy per matching tuple in ``other``."""
+        self._check_compatible(other)
+        remaining = Counter(other._rows)
+        result: List[Row] = []
+        for row in self._rows:
+            if remaining.get(row, 0) > 0:
+                remaining[row] -= 1
+            else:
+                result.append(row)
+        return Relation(self.schema, result, self.name)
+
+    def apply_delta(self, inserts: Optional["Relation"] = None, deletes: Optional["Relation"] = None) -> "Relation":
+        """Return ``self − deletes ∪ inserts`` (the view-update merge step)."""
+        result = self
+        if deletes is not None and len(deletes):
+            result = result.difference(deletes)
+        if inserts is not None and len(inserts):
+            result = result.union_all(inserts)
+        return Relation(result.schema, list(result._rows), self.name)
+
+    def distinct(self) -> "Relation":
+        """Duplicate elimination, preserving first-occurrence order."""
+        seen = set()
+        result = []
+        for row in self._rows:
+            if row not in seen:
+                seen.add(row)
+                result.append(row)
+        return Relation(self.schema, result, self.name)
+
+    def project(self, columns: Sequence[str]) -> "Relation":
+        """Bag projection onto ``columns`` (duplicates preserved)."""
+        idxs = self.schema.positions(columns)
+        schema = self.schema.project(columns)
+        return Relation(schema, [tuple(row[i] for i in idxs) for row in self._rows], self.name)
+
+    def select(self, predicate: Callable[[Row], bool]) -> "Relation":
+        """Bag selection by an arbitrary row predicate."""
+        return Relation(self.schema, [r for r in self._rows if predicate(r)], self.name)
+
+    def sorted_by(self, columns: Sequence[str]) -> "Relation":
+        """Return a copy sorted on ``columns`` (ascending)."""
+        idxs = self.schema.positions(columns)
+        ordered = sorted(self._rows, key=lambda row: tuple(row[i] for i in idxs))
+        return Relation(self.schema, ordered, self.name)
+
+    # ------------------------------------------------------------- comparison
+
+    def same_bag(self, other: "Relation") -> bool:
+        """Whether the two relations contain exactly the same multiset of tuples."""
+        return self.counter() == other.counter()
+
+    def _check_compatible(self, other: "Relation") -> None:
+        if len(self.schema) != len(other.schema):
+            raise ValueError(
+                f"incompatible schemas: {self.schema.names} vs {other.schema.names}"
+            )
+
+    # ----------------------------------------------------------------- display
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.name or '<anon>'}, {len(self._rows)} rows, schema={self.schema.names})"
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as dictionaries keyed by fully qualified column names."""
+        names = self.schema.names
+        return [dict(zip(names, row)) for row in self._rows]

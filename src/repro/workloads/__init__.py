@@ -1,0 +1,21 @@
+"""TPC-D-style workload substrate.
+
+The paper evaluates on TPC-D (the ancestor of TPC-H) at scale factor 0.1.
+This package provides:
+
+* :mod:`repro.workloads.tpcd` — the TPC-D schema (tables, keys, column
+  statistics) and a catalog factory parameterized by scale factor;
+* :mod:`repro.workloads.datagen` — a deterministic synthetic data generator
+  that populates an executable :class:`~repro.engine.Database` with
+  referentially consistent data at small scale factors (used by tests and
+  examples);
+* :mod:`repro.workloads.updategen` — generation of insert/delete batches at
+  a given update percentage with the paper's 2:1 insert:delete ratio;
+* :mod:`repro.workloads.queries` — the view definitions of the performance
+  study: a stand-alone 4-relation join view (with and without aggregation),
+  sets of five related views, and the large 10-view set.
+"""
+
+from repro.workloads import tpcd, datagen, updategen, queries
+
+__all__ = ["tpcd", "datagen", "updategen", "queries"]

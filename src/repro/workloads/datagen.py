@@ -1,0 +1,179 @@
+"""Deterministic synthetic TPC-D data generation.
+
+The paper evaluates against optimizer cost estimates over TPC-D statistics;
+executable data is only needed by this reproduction's correctness tests and
+examples, which run at tiny scale factors.  The generator is deterministic
+(seeded), referentially consistent (every foreign key refers to an existing
+parent), and value distributions are uniform — matching the assumptions of
+the statistics module, so measured and declared statistics agree.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.engine.database import Database
+from repro.storage.relation import Relation
+from repro.workloads import tpcd
+
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_STATUSES = ["F", "O", "P"]
+_RETURNFLAGS = ["A", "N", "R"]
+_BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+_TYPES = [f"{p} {m} {k}" for p in ("STANDARD", "SMALL", "MEDIUM") for m in ("ANODIZED", "BRUSHED") for k in ("TIN", "NICKEL", "STEEL")]
+
+
+class TpcdDataGenerator:
+    """Generates referentially consistent TPC-D data at a (small) scale factor."""
+
+    def __init__(self, scale_factor: float = 0.001, seed: int = 42) -> None:
+        self.scale_factor = scale_factor
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ sizing
+
+    def cardinality(self, table: str) -> int:
+        """Cardinality of ``table`` at this generator's scale factor."""
+        return tpcd.cardinality(table, self.scale_factor)
+
+    def _next_key(self, table: str) -> int:
+        self._counters[table] = self._counters.get(table, 0) + 1
+        return self._counters[table]
+
+    # --------------------------------------------------------------- row makers
+
+    def region_row(self, key: int) -> Tuple:
+        return (key, f"REGION_{key}")
+
+    def nation_row(self, key: int, n_regions: int) -> Tuple:
+        return (key, f"NATION_{key}", key % max(1, n_regions))
+
+    def supplier_row(self, key: int, n_nations: int) -> Tuple:
+        return (key, f"Supplier#{key:09d}", self._rng.randrange(n_nations), round(self._rng.uniform(-999.99, 9999.99), 2))
+
+    def customer_row(self, key: int, n_nations: int) -> Tuple:
+        return (
+            key,
+            f"Customer#{key:09d}",
+            self._rng.randrange(n_nations),
+            round(self._rng.uniform(-999.99, 9999.99), 2),
+            self._rng.choice(_SEGMENTS),
+        )
+
+    def part_row(self, key: int) -> Tuple:
+        return (
+            key,
+            f"part {key}",
+            self._rng.choice(_BRANDS),
+            self._rng.choice(_TYPES),
+            self._rng.randint(1, 50),
+            round(900 + (key % 1000) * 0.1, 2),
+        )
+
+    def partsupp_row(self, part_key: int, supp_key: int) -> Tuple:
+        return (part_key, supp_key, self._rng.randint(1, 9999), round(self._rng.uniform(1.0, 1000.0), 2))
+
+    def orders_row(self, key: int, n_customers: int) -> Tuple:
+        return (
+            key,
+            self._rng.randint(1, max(1, n_customers)),
+            self._rng.choice(_STATUSES),
+            round(self._rng.uniform(100.0, 500000.0), 2),
+            self._rng.randint(0, 2400),
+            self._rng.choice(_PRIORITIES),
+        )
+
+    def lineitem_row(self, order_key: int, line_number: int, n_parts: int, n_suppliers: int) -> Tuple:
+        quantity = self._rng.randint(1, 50)
+        price = round(quantity * self._rng.uniform(900.0, 2000.0), 2)
+        return (
+            order_key,
+            self._rng.randint(1, max(1, n_parts)),
+            self._rng.randint(1, max(1, n_suppliers)),
+            line_number,
+            float(quantity),
+            price,
+            round(self._rng.choice([i / 100 for i in range(0, 11)]), 2),
+            self._rng.choice(_RETURNFLAGS),
+            self._rng.randint(0, 2400),
+        )
+
+    # -------------------------------------------------------------- generation
+
+    def generate_table(self, table: str, cardinality: Optional[int] = None) -> List[Tuple]:
+        """Generate rows for one table (respecting foreign-key ranges)."""
+        count = cardinality if cardinality is not None else self.cardinality(table)
+        n_nations = self.cardinality("nation")
+        n_regions = self.cardinality("region")
+        n_customers = self.cardinality("customer")
+        n_parts = self.cardinality("part")
+        n_suppliers = self.cardinality("supplier")
+
+        if table == "region":
+            return [self.region_row(i) for i in range(count)]
+        if table == "nation":
+            return [self.nation_row(i, n_regions) for i in range(count)]
+        if table == "supplier":
+            return [self.supplier_row(self._next_key("supplier"), n_nations) for _ in range(count)]
+        if table == "customer":
+            return [self.customer_row(self._next_key("customer"), n_nations) for _ in range(count)]
+        if table == "part":
+            return [self.part_row(self._next_key("part")) for _ in range(count)]
+        if table == "partsupp":
+            rows = []
+            for _ in range(count):
+                rows.append(
+                    self.partsupp_row(
+                        self._rng.randint(1, max(1, n_parts)), self._rng.randint(1, max(1, n_suppliers))
+                    )
+                )
+            return rows
+        if table == "orders":
+            return [self.orders_row(self._next_key("orders"), n_customers) for _ in range(count)]
+        if table == "lineitem":
+            n_orders = max(1, self._counters.get("orders", self.cardinality("orders")))
+            rows = []
+            for i in range(count):
+                order_key = self._rng.randint(1, n_orders)
+                rows.append(self.lineitem_row(order_key, (i % 7) + 1, n_parts, n_suppliers))
+            return rows
+        raise KeyError(f"unknown TPC-D table {table!r}")
+
+    def populate(self, database: Optional[Database] = None, tables: Optional[Sequence[str]] = None) -> Database:
+        """Create and fill a :class:`Database` with generated data.
+
+        ``tables`` restricts generation (views touching only a few relations
+        do not need the full schema); parents are generated before children
+        so foreign keys stay consistent.
+        """
+        database = database or Database(Catalog())
+        order = ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"]
+        wanted = set(tables) if tables is not None else set(order)
+        definitions = tpcd.tpcd_tables()
+        for name in order:
+            if name not in wanted:
+                continue
+            rows = self.generate_table(name)
+            database.create_table(definitions[name], rows)
+            for index in _pk_indexes(name, definitions):
+                database.build_index(index)
+        return database
+
+
+def _pk_indexes(name: str, definitions) -> List:
+    from repro.catalog.catalog import IndexDef
+
+    table = definitions[name]
+    if not table.primary_key:
+        return []
+    return [IndexDef(name, tuple(table.primary_key), kind="btree", unique=True)]
+
+
+def small_database(scale_factor: float = 0.001, seed: int = 7, tables: Optional[Sequence[str]] = None) -> Database:
+    """Convenience: a populated database suitable for tests and examples."""
+    return TpcdDataGenerator(scale_factor=scale_factor, seed=seed).populate(tables=tables)

@@ -1,0 +1,259 @@
+"""View definitions for the performance study.
+
+These mirror the workloads of the paper's §7.2:
+
+* ``standalone_join_view``    — one view joining 4 TPC-D relations (Figure 3a);
+* ``standalone_agg_view``     — aggregation over the same join (Figure 3b);
+* ``view_set_plain``          — five related join views sharing
+  sub-expressions (Figure 4a);
+* ``view_set_aggregate``      — five aggregate views over shared joins
+  (Figure 4b);
+* ``large_view_set``          — ten views, each a join of 3–4 TPC-D
+  relations (Figure 5);
+* ``example_3_1_queries`` / ``example_3_2_view`` — the sharing examples of
+  §3.3, used by tests and by the sharing-illustration bench.
+
+All views are expressed over the TPC-D schema of
+:mod:`repro.workloads.tpcd` using natural foreign-key equi-joins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.algebra.expressions import (
+    Aggregate,
+    AggregateFunc,
+    AggregateSpec,
+    BaseRelation,
+    Expression,
+    Join,
+    Select,
+)
+from repro.algebra.predicates import lt, le, gt
+
+# Foreign-key join conditions between TPC-D relations, keyed by an
+# (alphabetically ordered) relation pair.
+_JOIN_CONDITIONS = {
+    ("lineitem", "orders"): ("l_orderkey", "o_orderkey"),
+    ("customer", "orders"): ("c_custkey", "o_custkey"),
+    ("customer", "nation"): ("c_nationkey", "n_nationkey"),
+    ("nation", "supplier"): ("s_nationkey", "n_nationkey"),
+    ("lineitem", "supplier"): ("l_suppkey", "s_suppkey"),
+    ("lineitem", "part"): ("l_partkey", "p_partkey"),
+    ("lineitem", "partsupp"): ("l_partkey", "ps_partkey"),
+    ("part", "partsupp"): ("p_partkey", "ps_partkey"),
+    ("partsupp", "supplier"): ("ps_suppkey", "s_suppkey"),
+    ("nation", "region"): ("n_regionkey", "r_regionkey"),
+}
+
+
+def join_condition(left: str, right: str):
+    """The foreign-key join condition between two TPC-D relations."""
+    key = tuple(sorted((left, right)))
+    if key not in _JOIN_CONDITIONS:
+        raise KeyError(f"no natural join between {left} and {right}")
+    return _JOIN_CONDITIONS[key]
+
+
+def chain_join(relations: List[str]) -> Expression:
+    """Left-deep join over ``relations``, linking each new relation to the
+    first already-joined relation it has a natural join with."""
+    expression: Expression = BaseRelation(relations[0])
+    joined = [relations[0]]
+    for name in relations[1:]:
+        condition = None
+        for prev in joined:
+            key = tuple(sorted((prev, name)))
+            if key in _JOIN_CONDITIONS:
+                condition = _JOIN_CONDITIONS[key]
+                break
+        if condition is None:
+            raise KeyError(f"cannot connect {name} to {joined}")
+        expression = Join(expression, BaseRelation(name), [condition])
+        joined.append(name)
+    return expression
+
+
+# --------------------------------------------------------------------- fig. 3
+
+def standalone_join_view() -> Dict[str, Expression]:
+    """One view: the join of four relations (Figure 3a)."""
+    return {"v_order_details": chain_join(["lineitem", "orders", "customer", "nation"])}
+
+
+def standalone_agg_view() -> Dict[str, Expression]:
+    """One view: aggregation over the same four-relation join (Figure 3b)."""
+    join = chain_join(["lineitem", "orders", "customer", "nation"])
+    view = Aggregate(
+        join,
+        ["n_name"],
+        [
+            AggregateSpec(AggregateFunc.SUM, "l_extendedprice", "revenue"),
+            AggregateSpec(AggregateFunc.COUNT, None, "order_lines"),
+        ],
+    )
+    return {"v_revenue_by_nation": view}
+
+
+# --------------------------------------------------------------------- fig. 4
+
+def view_set_plain() -> Dict[str, Expression]:
+    """Five related join views sharing sub-expressions (Figure 4a)."""
+    return {
+        "v_cust_orders": chain_join(["orders", "customer"]),
+        "v_cust_order_lines": chain_join(["lineitem", "orders", "customer"]),
+        "v_cust_order_nations": chain_join(["lineitem", "orders", "customer", "nation"]),
+        "v_order_nations": chain_join(["orders", "customer", "nation"]),
+        "v_supplier_lines": chain_join(["lineitem", "supplier", "nation"]),
+    }
+
+
+def view_set_aggregate() -> Dict[str, Expression]:
+    """Five aggregate views over shared joins (Figure 4b)."""
+    loc = chain_join(["lineitem", "orders", "customer"])
+    locn = chain_join(["lineitem", "orders", "customer", "nation"])
+    lsn = chain_join(["lineitem", "supplier", "nation"])
+    ocn = chain_join(["orders", "customer", "nation"])
+    return {
+        "v_revenue_by_customer": Aggregate(
+            loc,
+            ["c_custkey"],
+            [
+                AggregateSpec(AggregateFunc.SUM, "l_extendedprice", "revenue"),
+                AggregateSpec(AggregateFunc.COUNT, None, "line_count"),
+            ],
+        ),
+        "v_revenue_by_nation": Aggregate(
+            locn,
+            ["n_name"],
+            [
+                AggregateSpec(AggregateFunc.SUM, "l_extendedprice", "revenue"),
+                AggregateSpec(AggregateFunc.COUNT, None, "line_count"),
+            ],
+        ),
+        "v_quantity_by_nation": Aggregate(
+            locn,
+            ["n_name"],
+            [
+                AggregateSpec(AggregateFunc.SUM, "l_quantity", "total_quantity"),
+                AggregateSpec(AggregateFunc.COUNT, None, "line_count"),
+            ],
+        ),
+        "v_supply_by_nation": Aggregate(
+            lsn,
+            ["n_name"],
+            [
+                AggregateSpec(AggregateFunc.SUM, "l_extendedprice", "supplied_value"),
+                AggregateSpec(AggregateFunc.COUNT, None, "line_count"),
+            ],
+        ),
+        "v_orders_by_nation": Aggregate(
+            ocn,
+            ["n_name"],
+            [
+                AggregateSpec(AggregateFunc.SUM, "o_totalprice", "order_value"),
+                AggregateSpec(AggregateFunc.COUNT, None, "order_count"),
+            ],
+        ),
+    }
+
+
+# --------------------------------------------------------------------- fig. 5
+
+def large_view_set(with_aggregates: bool = False) -> Dict[str, Expression]:
+    """Ten views, each a join of 3–4 TPC-D relations (Figure 5).
+
+    ``with_aggregates=True`` adds a group-by/aggregate on top of half of
+    them, for use in ablation benches; the paper's Figure 5 set is pure
+    joins.
+    """
+    joins: Dict[str, Expression] = {
+        "v01_order_lines": chain_join(["lineitem", "orders", "customer"]),
+        "v02_order_nations": chain_join(["lineitem", "orders", "customer", "nation"]),
+        "v03_customer_orders": chain_join(["orders", "customer", "nation"]),
+        "v04_supplier_lines": chain_join(["lineitem", "supplier", "nation"]),
+        "v05_part_supply": chain_join(["partsupp", "part", "supplier"]),
+        "v06_part_lines": chain_join(["lineitem", "part", "orders"]),
+        "v07_supply_regions": chain_join(["supplier", "nation", "region"]),
+        "v08_customer_regions": chain_join(["customer", "nation", "region"]),
+        "v09_supply_lines": chain_join(["lineitem", "partsupp", "supplier"]),
+        "v10_order_parts": chain_join(["lineitem", "orders", "part"]),
+    }
+    if not with_aggregates:
+        return joins
+    aggregated: Dict[str, Expression] = {}
+    for index, (name, expression) in enumerate(joins.items()):
+        if index % 2 == 0:
+            aggregated[name] = expression
+        else:
+            group = "n_name" if "nation" in _relations_of(expression) else "o_orderpriority"
+            if group == "o_orderpriority" and "orders" not in _relations_of(expression):
+                group = "s_nationkey"
+            aggregated[name] = Aggregate(
+                expression,
+                [group],
+                [
+                    AggregateSpec(AggregateFunc.SUM, _sum_column(expression), "total_value"),
+                    AggregateSpec(AggregateFunc.COUNT, None, "row_count"),
+                ],
+            )
+    return aggregated
+
+
+def _relations_of(expression: Expression):
+    from repro.algebra.expressions import base_relations
+
+    return base_relations(expression)
+
+
+def _sum_column(expression: Expression) -> str:
+    relations = _relations_of(expression)
+    if "lineitem" in relations:
+        return "l_extendedprice"
+    if "partsupp" in relations:
+        return "ps_supplycost"
+    if "orders" in relations:
+        return "o_totalprice"
+    if "customer" in relations:
+        return "c_acctbal"
+    return "s_acctbal"
+
+
+# -------------------------------------------------------------- §3.3 examples
+
+def example_3_1_queries() -> Dict[str, Expression]:
+    """Example 3.1: Q1 = (R ⋈ S) ⋈ P, Q2 = (R ⋈ T) ⋈ S.
+
+    Mapped onto TPC-D: R=orders, S=customer, P=lineitem, T=nation, so that
+    the alternative plan (orders ⋈ customer) ⋈ nation for Q2 shares
+    orders ⋈ customer with Q1.
+    """
+    q1 = Join(
+        Join(BaseRelation("orders"), BaseRelation("customer"), [join_condition("orders", "customer")]),
+        BaseRelation("lineitem"),
+        [join_condition("lineitem", "orders")],
+    )
+    q2 = Join(
+        Join(BaseRelation("customer"), BaseRelation("nation"), [join_condition("customer", "nation")]),
+        BaseRelation("orders"),
+        [join_condition("customer", "orders")],
+    )
+    return {"Q1": q1, "Q2": q2}
+
+
+def example_3_2_view() -> Dict[str, Expression]:
+    """Example 3.2: V = A ⋈ B ⋈ C ⋈ D with inserts on all four relations.
+
+    Mapped onto TPC-D as lineitem ⋈ orders ⋈ customer ⋈ nation.
+    """
+    return {"V": chain_join(["lineitem", "orders", "customer", "nation"])}
+
+
+def selection_variant_views() -> Dict[str, Expression]:
+    """Views with subsuming selections (σ_{A<5} derivable from σ_{A<10})."""
+    base = chain_join(["lineitem", "orders"])
+    return {
+        "v_big_orders": Select(base, lt("o_totalprice", 100000.0)),
+        "v_small_orders": Select(base, lt("o_totalprice", 10000.0)),
+    }

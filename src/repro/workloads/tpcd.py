@@ -1,0 +1,260 @@
+"""The TPC-D schema and catalog.
+
+Table and column definitions follow the TPC-D/TPC-H specification (a
+representative subset of the columns — the ones the paper's style of
+warehouse views join, filter, group and aggregate on — with per-tuple widths
+padded so that total table sizes track the benchmark's: ~100 MB at the
+paper's scale factor 0.1).
+
+``tpcd_catalog`` builds a :class:`~repro.catalog.Catalog` with declared
+statistics at any scale factor *without generating data*: this is what the
+benchmark harness uses, mirroring the paper whose numbers are optimizer cost
+estimates.  ``tpcd_tables`` exposes the raw definitions for the data
+generator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.catalog.catalog import Catalog, IndexDef
+from repro.catalog.schema import Column, ColumnType, Schema, TableDef
+from repro.catalog.statistics import ColumnStats, TableStats
+
+#: Base cardinalities at scale factor 1.0 (TPC-D specification).
+BASE_CARDINALITIES: Dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+#: Tables whose cardinality does not scale with the scale factor.
+FIXED_SIZE_TABLES = {"region", "nation"}
+
+#: Approximate tuple widths in bytes (padded to track TPC-D table sizes).
+TUPLE_WIDTHS: Dict[str, int] = {
+    "region": 120,
+    "nation": 128,
+    "supplier": 160,
+    "customer": 180,
+    "part": 156,
+    "partsupp": 144,
+    "orders": 128,
+    "lineitem": 138,
+}
+
+
+def _columns(table: str) -> List[Column]:
+    I, F, S, D = ColumnType.INTEGER, ColumnType.FLOAT, ColumnType.STRING, ColumnType.DATE
+    layouts: Dict[str, List[Tuple[str, ColumnType]]] = {
+        "region": [("r_regionkey", I), ("r_name", S)],
+        "nation": [("n_nationkey", I), ("n_name", S), ("n_regionkey", I)],
+        "supplier": [
+            ("s_suppkey", I),
+            ("s_name", S),
+            ("s_nationkey", I),
+            ("s_acctbal", F),
+        ],
+        "customer": [
+            ("c_custkey", I),
+            ("c_name", S),
+            ("c_nationkey", I),
+            ("c_acctbal", F),
+            ("c_mktsegment", S),
+        ],
+        "part": [
+            ("p_partkey", I),
+            ("p_name", S),
+            ("p_brand", S),
+            ("p_type", S),
+            ("p_size", I),
+            ("p_retailprice", F),
+        ],
+        "partsupp": [
+            ("ps_partkey", I),
+            ("ps_suppkey", I),
+            ("ps_availqty", I),
+            ("ps_supplycost", F),
+        ],
+        "orders": [
+            ("o_orderkey", I),
+            ("o_custkey", I),
+            ("o_orderstatus", S),
+            ("o_totalprice", F),
+            ("o_orderdate", I),
+            ("o_orderpriority", S),
+        ],
+        "lineitem": [
+            ("l_orderkey", I),
+            ("l_partkey", I),
+            ("l_suppkey", I),
+            ("l_linenumber", I),
+            ("l_quantity", F),
+            ("l_extendedprice", F),
+            ("l_discount", F),
+            ("l_returnflag", S),
+            ("l_shipdate", I),
+        ],
+    }
+    return [Column(name, ctype) for name, ctype in layouts[table]]
+
+
+def tpcd_tables() -> Dict[str, TableDef]:
+    """Table definitions (schemas, primary keys, foreign keys) for TPC-D."""
+    schemas = {name: Schema(tuple(_columns(name))) for name in BASE_CARDINALITIES}
+    return {
+        "region": TableDef("region", schemas["region"], ("r_regionkey",)),
+        "nation": TableDef(
+            "nation",
+            schemas["nation"],
+            ("n_nationkey",),
+            (("n_regionkey", "region", "r_regionkey"),),
+        ),
+        "supplier": TableDef(
+            "supplier",
+            schemas["supplier"],
+            ("s_suppkey",),
+            (("s_nationkey", "nation", "n_nationkey"),),
+        ),
+        "customer": TableDef(
+            "customer",
+            schemas["customer"],
+            ("c_custkey",),
+            (("c_nationkey", "nation", "n_nationkey"),),
+        ),
+        "part": TableDef("part", schemas["part"], ("p_partkey",)),
+        "partsupp": TableDef(
+            "partsupp",
+            schemas["partsupp"],
+            ("ps_partkey", "ps_suppkey"),
+            (
+                ("ps_partkey", "part", "p_partkey"),
+                ("ps_suppkey", "supplier", "s_suppkey"),
+            ),
+        ),
+        "orders": TableDef(
+            "orders",
+            schemas["orders"],
+            ("o_orderkey",),
+            (("o_custkey", "customer", "c_custkey"),),
+        ),
+        "lineitem": TableDef(
+            "lineitem",
+            schemas["lineitem"],
+            ("l_orderkey", "l_linenumber"),
+            (
+                ("l_orderkey", "orders", "o_orderkey"),
+                ("l_partkey", "part", "p_partkey"),
+                ("l_suppkey", "supplier", "s_suppkey"),
+            ),
+        ),
+    }
+
+
+def cardinality(table: str, scale_factor: float) -> int:
+    """Cardinality of ``table`` at the given scale factor."""
+    base = BASE_CARDINALITIES[table]
+    if table in FIXED_SIZE_TABLES:
+        return base
+    return max(1, int(round(base * scale_factor)))
+
+
+def _column_stats(table: str, scale_factor: float) -> Dict[str, ColumnStats]:
+    card = cardinality(table, scale_factor)
+    orders_card = cardinality("orders", scale_factor)
+    parts_card = cardinality("part", scale_factor)
+    suppliers_card = cardinality("supplier", scale_factor)
+    customers_card = cardinality("customer", scale_factor)
+
+    stats: Dict[str, ColumnStats] = {}
+    key_like = {
+        "r_regionkey": 5,
+        "n_nationkey": 25,
+        "s_suppkey": suppliers_card,
+        "c_custkey": customers_card,
+        "p_partkey": parts_card,
+        "o_orderkey": orders_card,
+    }
+    for column in _columns(table):
+        name = column.name
+        if name in key_like:
+            stats[name] = ColumnStats(distinct=float(key_like[name]), min_value=1, max_value=key_like[name])
+        elif name in ("n_regionkey",):
+            stats[name] = ColumnStats(distinct=5, min_value=0, max_value=4)
+        elif name in ("s_nationkey", "c_nationkey"):
+            stats[name] = ColumnStats(distinct=25, min_value=0, max_value=24)
+        elif name == "ps_partkey":
+            stats[name] = ColumnStats(distinct=float(parts_card), min_value=1, max_value=parts_card)
+        elif name == "ps_suppkey":
+            stats[name] = ColumnStats(distinct=float(suppliers_card), min_value=1, max_value=suppliers_card)
+        elif name == "o_custkey":
+            stats[name] = ColumnStats(distinct=float(customers_card), min_value=1, max_value=customers_card)
+        elif name == "l_orderkey":
+            stats[name] = ColumnStats(distinct=float(orders_card), min_value=1, max_value=orders_card)
+        elif name == "l_partkey":
+            stats[name] = ColumnStats(distinct=float(parts_card), min_value=1, max_value=parts_card)
+        elif name == "l_suppkey":
+            stats[name] = ColumnStats(distinct=float(suppliers_card), min_value=1, max_value=suppliers_card)
+        elif name in ("o_orderdate", "l_shipdate"):
+            stats[name] = ColumnStats(distinct=2400.0, min_value=0, max_value=2400)
+        elif name == "o_orderpriority":
+            stats[name] = ColumnStats(distinct=5.0)
+        elif name in ("o_orderstatus", "l_returnflag"):
+            stats[name] = ColumnStats(distinct=3.0)
+        elif name == "c_mktsegment":
+            stats[name] = ColumnStats(distinct=5.0)
+        elif name == "p_brand":
+            stats[name] = ColumnStats(distinct=25.0)
+        elif name == "p_type":
+            stats[name] = ColumnStats(distinct=150.0)
+        elif name == "p_size":
+            stats[name] = ColumnStats(distinct=50.0, min_value=1, max_value=50)
+        elif name == "l_quantity":
+            stats[name] = ColumnStats(distinct=50.0, min_value=1, max_value=50)
+        elif name == "l_discount":
+            stats[name] = ColumnStats(distinct=11.0, min_value=0.0, max_value=0.1)
+        elif name == "l_linenumber":
+            stats[name] = ColumnStats(distinct=7.0, min_value=1, max_value=7)
+        elif name.endswith("acctbal") or name.endswith("price") or name.endswith("cost"):
+            stats[name] = ColumnStats(distinct=min(float(card), 100_000.0), min_value=0.0, max_value=100_000.0)
+        elif name == "ps_availqty":
+            stats[name] = ColumnStats(distinct=10_000.0, min_value=1, max_value=10_000)
+        else:
+            stats[name] = ColumnStats(distinct=min(float(card), 1000.0))
+    return stats
+
+
+def table_stats(table: str, scale_factor: float) -> TableStats:
+    """Declared statistics for ``table`` at a scale factor."""
+    return TableStats(
+        cardinality=float(cardinality(table, scale_factor)),
+        tuple_width=TUPLE_WIDTHS[table],
+        column_stats=_column_stats(table, scale_factor),
+    )
+
+
+def tpcd_catalog(scale_factor: float = 0.1, with_pk_indexes: bool = True) -> Catalog:
+    """Build a TPC-D catalog with declared statistics.
+
+    ``with_pk_indexes=True`` matches the paper's default setting ("databases
+    have indices on the primary key attributes of each relation"); the
+    Figure 5(b) experiment passes ``False`` and lets Greedy choose indexes.
+    """
+    catalog = Catalog()
+    for name, table in tpcd_tables().items():
+        catalog.register_table(
+            table, stats=table_stats(name, scale_factor), create_pk_index=with_pk_indexes
+        )
+    return catalog
+
+
+def total_database_bytes(scale_factor: float) -> float:
+    """Approximate total database size in bytes at a scale factor."""
+    return sum(
+        cardinality(name, scale_factor) * TUPLE_WIDTHS[name] for name in BASE_CARDINALITIES
+    )

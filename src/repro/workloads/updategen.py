@@ -1,0 +1,72 @@
+"""Generation of update (delta) batches.
+
+The paper models an "x% update" to a relation as inserting x% as many tuples
+as the relation currently holds and deleting x/2% of the current tuples
+(twice as many inserts as deletes, modelling a growing warehouse).  This
+module turns that specification into concrete :class:`Delta` batches against
+an executable database — fresh, referentially consistent tuples for the
+inserts and a deterministic sample of existing tuples for the deletes — so
+the maintenance machinery can be exercised and verified end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.engine.database import Database
+from repro.maintenance.update_spec import UpdateSpec
+from repro.storage.delta import Delta, DeltaStore
+from repro.storage.relation import Relation
+from repro.workloads.datagen import TpcdDataGenerator
+
+
+def generate_deltas(
+    database: Database,
+    spec: UpdateSpec,
+    relations: Optional[Sequence[str]] = None,
+    seed: int = 2024,
+    generator: Optional[TpcdDataGenerator] = None,
+) -> DeltaStore:
+    """Build a :class:`DeltaStore` realizing ``spec`` against ``database``.
+
+    Inserted tuples are produced by the TPC-D generator (continuing its key
+    sequences, so they do not collide with existing primary keys); deleted
+    tuples are sampled uniformly from the current contents.
+    """
+    rng = random.Random(seed)
+    names = list(relations) if relations is not None else database.table_names()
+    generator = generator or TpcdDataGenerator(scale_factor=0.001, seed=seed)
+    # Continue key sequences past what is already loaded.
+    for name in names:
+        generator._counters[name] = len(database.table(name))
+
+    store = DeltaStore(names)
+    for name in names:
+        current = database.table(name)
+        fractions = spec.for_relation(name)
+        insert_count = int(round(len(current) * fractions.insert_fraction))
+        delete_count = int(round(len(current) * fractions.delete_fraction))
+        delete_count = min(delete_count, len(current))
+
+        inserts = Relation(current.schema, [], name=f"delta_plus_{name}")
+        if insert_count > 0:
+            inserts.extend(generator.generate_table(name, cardinality=insert_count))
+
+        deletes = Relation(current.schema, [], name=f"delta_minus_{name}")
+        if delete_count > 0 and len(current):
+            deletes.extend(rng.sample(list(current.rows), delete_count))
+
+        store.set_delta(Delta(name, inserts, deletes))
+    return store
+
+
+def uniform_deltas(
+    database: Database,
+    update_percentage: float,
+    relations: Optional[Sequence[str]] = None,
+    seed: int = 2024,
+) -> DeltaStore:
+    """Deltas for the paper's uniform "x% update" model."""
+    names = list(relations) if relations is not None else database.table_names()
+    return generate_deltas(database, UpdateSpec.uniform(update_percentage, names), names, seed=seed)

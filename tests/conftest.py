@@ -1,0 +1,144 @@
+"""Shared fixtures for the test suite.
+
+Two families of fixtures are provided:
+
+* a tiny hand-built star schema (``sales``/``products``/``stores``) used by
+  the fine-grained unit tests, where every expected tuple can be written out
+  by hand; and
+* a small generated TPC-D database (scale factor well below the paper's 0.1)
+  used by the integration tests that exercise the full optimizer/refresh
+  pipeline end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.catalog import Catalog, IndexDef
+from repro.catalog.schema import Column, ColumnType, Schema, TableDef
+from repro.catalog.statistics import ColumnStats, TableStats
+from repro.engine.database import Database
+
+
+# ----------------------------------------------------------- tiny star schema
+
+SALES_SCHEMA = Schema.of(
+    Column("sale_id", ColumnType.INTEGER),
+    Column("product_id", ColumnType.INTEGER),
+    Column("store_id", ColumnType.INTEGER),
+    Column("quantity", ColumnType.INTEGER),
+    Column("amount", ColumnType.FLOAT),
+)
+
+PRODUCTS_SCHEMA = Schema.of(
+    Column("p_id", ColumnType.INTEGER),
+    Column("p_name", ColumnType.STRING),
+    Column("p_category", ColumnType.STRING),
+    Column("p_price", ColumnType.FLOAT),
+)
+
+STORES_SCHEMA = Schema.of(
+    Column("st_id", ColumnType.INTEGER),
+    Column("st_city", ColumnType.STRING),
+    Column("st_region", ColumnType.STRING),
+)
+
+SALES_ROWS = [
+    (1, 10, 100, 2, 20.0),
+    (2, 10, 101, 1, 10.0),
+    (3, 11, 100, 5, 75.0),
+    (4, 12, 102, 1, 30.0),
+    (5, 11, 101, 2, 30.0),
+    (6, 12, 100, 4, 120.0),
+]
+
+PRODUCTS_ROWS = [
+    (10, "widget", "tools", 10.0),
+    (11, "gadget", "tools", 15.0),
+    (12, "gizmo", "toys", 30.0),
+]
+
+STORES_ROWS = [
+    (100, "springfield", "north"),
+    (101, "shelbyville", "south"),
+    (102, "ogdenville", "north"),
+]
+
+
+def build_star_tables():
+    """Table definitions for the tiny star schema."""
+    sales = TableDef(
+        "sales",
+        SALES_SCHEMA,
+        ("sale_id",),
+        (("product_id", "products", "p_id"), ("store_id", "stores", "st_id")),
+    )
+    products = TableDef("products", PRODUCTS_SCHEMA, ("p_id",))
+    stores = TableDef("stores", STORES_SCHEMA, ("st_id",))
+    return sales, products, stores
+
+
+@pytest.fixture
+def star_catalog() -> Catalog:
+    """Catalog for the star schema with declared statistics and PK indexes."""
+    sales, products, stores = build_star_tables()
+    catalog = Catalog()
+    catalog.register_table(
+        sales,
+        TableStats(
+            6.0,
+            SALES_SCHEMA.tuple_width,
+            {
+                "sale_id": ColumnStats(distinct=6, min_value=1, max_value=6),
+                "product_id": ColumnStats(distinct=3, min_value=10, max_value=12),
+                "store_id": ColumnStats(distinct=3, min_value=100, max_value=102),
+                "quantity": ColumnStats(distinct=5, min_value=1, max_value=5),
+            },
+        ),
+        create_pk_index=True,
+    )
+    catalog.register_table(
+        products,
+        TableStats(3.0, PRODUCTS_SCHEMA.tuple_width, {"p_id": ColumnStats(distinct=3)}),
+        create_pk_index=True,
+    )
+    catalog.register_table(
+        stores,
+        TableStats(3.0, STORES_SCHEMA.tuple_width, {"st_id": ColumnStats(distinct=3)}),
+        create_pk_index=True,
+    )
+    return catalog
+
+
+@pytest.fixture
+def star_database(star_catalog) -> Database:
+    """Executable database for the star schema with the hand-written rows."""
+    sales, products, stores = build_star_tables()
+    database = Database(star_catalog)
+    database.create_table(sales, SALES_ROWS)
+    database.create_table(products, PRODUCTS_ROWS)
+    database.create_table(stores, STORES_ROWS)
+    for index in star_catalog.all_indexes():
+        database.build_index(index)
+    return database
+
+
+# ------------------------------------------------------- small TPC-D database
+
+@pytest.fixture(scope="session")
+def tiny_tpcd_database() -> Database:
+    """A populated TPC-D database small enough for executable refresh tests."""
+    from repro.workloads.datagen import TpcdDataGenerator
+
+    generator = TpcdDataGenerator(scale_factor=0.0004, seed=11)
+    return generator.populate(
+        tables=["region", "nation", "supplier", "customer", "orders", "lineitem"]
+    )
+
+
+@pytest.fixture(scope="session")
+def tpcd_catalog_small():
+    """A TPC-D catalog at a reduced scale factor for optimizer tests."""
+    from repro.workloads import tpcd
+
+    return tpcd.tpcd_catalog(scale_factor=0.01)

@@ -1,0 +1,119 @@
+"""Unit tests for logical expressions."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    Aggregate,
+    AggregateFunc,
+    AggregateSpec,
+    BaseRelation,
+    Difference,
+    Distinct,
+    Join,
+    Project,
+    Select,
+    UnionAll,
+    base_relations,
+    join_conditions,
+    selection_conjuncts,
+    walk,
+)
+from repro.algebra.predicates import eq, lt
+
+
+def sample_join():
+    return Join(
+        Join(BaseRelation("A"), BaseRelation("B"), [("a_id", "b_id")]),
+        BaseRelation("C"),
+        [("b_id", "c_id")],
+    )
+
+
+def test_base_relation_canonical_is_name():
+    assert BaseRelation("orders").canonical() == "orders"
+    assert BaseRelation("orders").children() == ()
+
+
+def test_join_commutativity_canonicalized():
+    left = Join(BaseRelation("A"), BaseRelation("B"), [("a_id", "b_id")])
+    right = Join(BaseRelation("B"), BaseRelation("A"), [("b_id", "a_id")])
+    assert left == right
+    assert hash(left) == hash(right)
+
+
+def test_different_conditions_not_unified():
+    one = Join(BaseRelation("A"), BaseRelation("B"), [("a_id", "b_id")])
+    other = Join(BaseRelation("A"), BaseRelation("B"), [("a_x", "b_x")])
+    assert one != other
+
+
+def test_select_and_project_canonical_forms():
+    select = Select(BaseRelation("A"), lt("a_val", 5))
+    project = Project(BaseRelation("A"), ["a_id"])
+    assert "select" in select.canonical()
+    assert "project" in project.canonical()
+    assert select != project
+
+
+def test_aggregate_canonical_order_insensitive_to_spec_order():
+    specs1 = [
+        AggregateSpec(AggregateFunc.SUM, "v", "s"),
+        AggregateSpec(AggregateFunc.COUNT, None, "c"),
+    ]
+    specs2 = list(reversed(specs1))
+    agg1 = Aggregate(BaseRelation("A"), ["g"], specs1)
+    agg2 = Aggregate(BaseRelation("A"), ["g"], specs2)
+    assert agg1 == agg2
+
+
+def test_union_requires_two_inputs():
+    with pytest.raises(ValueError):
+        UnionAll([BaseRelation("A")])
+
+
+def test_union_canonical_order_insensitive():
+    one = UnionAll([BaseRelation("A"), BaseRelation("B")])
+    two = UnionAll([BaseRelation("B"), BaseRelation("A")])
+    assert one == two
+
+
+def test_difference_is_order_sensitive():
+    one = Difference(BaseRelation("A"), BaseRelation("B"))
+    two = Difference(BaseRelation("B"), BaseRelation("A"))
+    assert one != two
+
+
+def test_walk_visits_every_node():
+    expression = Select(sample_join(), lt("a_val", 3))
+    kinds = [type(node).__name__ for node in walk(expression)]
+    assert kinds.count("Join") == 2
+    assert kinds.count("BaseRelation") == 3
+    assert kinds[0] == "Select"
+
+
+def test_base_relations_collects_names():
+    assert base_relations(sample_join()) == frozenset({"A", "B", "C"})
+
+
+def test_join_conditions_collects_pairs():
+    assert set(join_conditions(sample_join())) == {("a_id", "b_id"), ("b_id", "c_id")}
+
+
+def test_selection_conjuncts_collects_predicates():
+    expression = Select(Select(BaseRelation("A"), lt("x", 1)), eq("y", 2))
+    assert len(selection_conjuncts(expression)) == 2
+
+
+def test_distinct_and_labels():
+    distinct = Distinct(BaseRelation("A"))
+    assert "distinct" in distinct.canonical()
+    assert BaseRelation("A").label == "A"
+    assert sample_join().label.startswith("⋈")
+
+
+def test_aggregate_func_distributive_flags():
+    assert AggregateFunc.SUM.is_distributive
+    assert AggregateFunc.COUNT.is_distributive
+    assert AggregateFunc.AVG.is_distributive
+    assert not AggregateFunc.MIN.is_distributive
+    assert not AggregateFunc.MAX.is_distributive

@@ -1,0 +1,116 @@
+"""Unit tests for the predicate AST."""
+
+import pytest
+
+from repro.algebra.predicates import (
+    And,
+    Comparison,
+    Not,
+    Or,
+    TruePredicate,
+    col,
+    conjoin,
+    conjuncts,
+    eq,
+    ge,
+    gt,
+    le,
+    lit,
+    lt,
+    ne,
+    range_subsumes,
+)
+from repro.catalog.schema import Schema
+
+SCHEMA = Schema.from_names(["a", "b"])
+
+
+def test_comparison_evaluation():
+    assert eq("a", 1).evaluate((1, 2), SCHEMA)
+    assert not eq("a", 1).evaluate((2, 2), SCHEMA)
+    assert lt("a", "b").evaluate((1, 2), SCHEMA)
+    assert ge("b", 2).evaluate((1, 2), SCHEMA)
+    assert ne("a", "b").evaluate((1, 2), SCHEMA)
+    assert not gt("a", "b").evaluate((1, 2), SCHEMA)
+    assert le("a", 1).evaluate((1, 2), SCHEMA)
+
+
+def test_null_operands_evaluate_false():
+    assert not eq("a", 1).evaluate((None, 2), SCHEMA)
+
+
+def test_unknown_operator_rejected():
+    with pytest.raises(ValueError):
+        Comparison("~", col("a"), lit(1))
+
+
+def test_equality_canonical_is_symmetric():
+    assert eq("a", "b").canonical() == eq("b", "a").canonical()
+    assert eq("a", "b") == eq("b", "a")
+    assert hash(eq("a", "b")) == hash(eq("b", "a"))
+
+
+def test_literal_first_range_comparison_is_flipped():
+    assert lt(5, "a").canonical() == gt("a", 5).canonical()
+
+
+def test_is_equijoin():
+    assert eq("a", "b").is_equijoin
+    assert not eq("a", 5).is_equijoin
+
+
+def test_negate():
+    assert lt("a", 5).negate().op == ">="
+    assert eq("a", 5).negate().op == "!="
+
+
+def test_and_flattens_sorts_and_drops_true():
+    combined = And([eq("a", 1), And([eq("b", 2), TruePredicate()])])
+    assert len(combined.parts) == 2
+    assert combined.evaluate((1, 2), SCHEMA)
+    assert not combined.evaluate((1, 3), SCHEMA)
+    # Canonical form is order independent.
+    assert And([eq("a", 1), eq("b", 2)]) == And([eq("b", 2), eq("a", 1)])
+
+
+def test_or_and_not_evaluation():
+    disjunction = Or([eq("a", 1), eq("a", 2)])
+    assert disjunction.evaluate((2, 0), SCHEMA)
+    assert not disjunction.evaluate((3, 0), SCHEMA)
+    assert Not(eq("a", 1)).evaluate((2, 0), SCHEMA)
+
+
+def test_columns_collection():
+    predicate = And([eq("a", 1), lt("b", "a")])
+    assert predicate.columns() == frozenset({"a", "b"})
+
+
+def test_conjuncts_and_conjoin_roundtrip():
+    parts = [eq("a", 1), lt("b", 5)]
+    combined = conjoin(parts)
+    assert set(conjuncts(combined)) == set(parts)
+    assert conjuncts(None) == []
+    assert conjuncts(TruePredicate()) == []
+    assert isinstance(conjoin([]), TruePredicate)
+    assert conjoin([eq("a", 1)]) == eq("a", 1)
+
+
+def test_true_predicate():
+    assert TruePredicate().evaluate((1, 2), SCHEMA)
+    assert TruePredicate().columns() == frozenset()
+
+
+def test_range_subsumption_same_direction():
+    assert range_subsumes(lt("a", 10), lt("a", 5))
+    assert not range_subsumes(lt("a", 5), lt("a", 10))
+    assert range_subsumes(gt("a", 5), gt("a", 10))
+
+
+def test_range_subsumption_equality_point():
+    assert range_subsumes(lt("a", 10), eq("a", 3))
+    assert not range_subsumes(lt("a", 10), eq("a", 30))
+
+
+def test_range_subsumption_different_columns_or_shapes():
+    assert not range_subsumes(lt("a", 10), lt("b", 5))
+    assert not range_subsumes(eq("a", "b"), lt("a", 5))

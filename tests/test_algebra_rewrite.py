@@ -1,0 +1,89 @@
+"""Unit tests for selection push-down and join flattening."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    Aggregate,
+    AggregateFunc,
+    AggregateSpec,
+    BaseRelation,
+    Join,
+    Select,
+    walk,
+)
+from repro.algebra.predicates import conjuncts, eq, lt
+from repro.algebra.rewrite import flatten_join_block, left_deep_join, push_down_selections
+from repro.algebra.schema_derivation import derive_schema
+
+
+def star_join():
+    return Join(
+        Join(BaseRelation("sales"), BaseRelation("products"), [("product_id", "p_id")]),
+        BaseRelation("stores"),
+        [("store_id", "st_id")],
+    )
+
+
+def test_push_down_moves_single_side_conjuncts(star_catalog):
+    expression = Select(star_join(), lt("p_price", 20.0))
+    rewritten = push_down_selections(expression, star_catalog)
+    selects = [node for node in walk(rewritten) if isinstance(node, Select)]
+    assert len(selects) == 1
+    # The selection now sits directly on the products relation.
+    assert isinstance(selects[0].child, BaseRelation)
+    assert selects[0].child.name == "products"
+
+
+def test_push_down_keeps_cross_input_predicates_on_top(star_catalog):
+    expression = Select(star_join(), eq("p_name", "st_city"))
+    rewritten = push_down_selections(expression, star_catalog)
+    assert isinstance(rewritten, Select)
+    assert isinstance(rewritten.child, Join)
+
+
+def test_push_down_merges_cascading_selects(star_catalog):
+    expression = Select(Select(BaseRelation("products"), lt("p_price", 20.0)), eq("p_category", "tools"))
+    rewritten = push_down_selections(expression, star_catalog)
+    assert isinstance(rewritten, Select)
+    assert isinstance(rewritten.child, BaseRelation)
+    assert len(conjuncts(rewritten.predicate)) == 2
+
+
+def test_push_down_does_not_cross_aggregates(star_catalog):
+    aggregate = Aggregate(
+        BaseRelation("sales"), ["product_id"], [AggregateSpec(AggregateFunc.SUM, "amount", "total")]
+    )
+    expression = Select(aggregate, lt("total", 50.0))
+    rewritten = push_down_selections(expression, star_catalog)
+    assert isinstance(rewritten, Select)
+    assert isinstance(rewritten.child, Aggregate)
+
+
+def test_flatten_join_block_collects_leaves_and_conditions():
+    block = flatten_join_block(star_join())
+    assert sorted(leaf.canonical() for leaf in block.leaves) == ["products", "sales", "stores"]
+    assert set(block.conditions) == {("product_id", "p_id"), ("store_id", "st_id")}
+    assert not block.is_trivial
+
+
+def test_flatten_trivial_block():
+    block = flatten_join_block(BaseRelation("sales"))
+    assert block.is_trivial
+
+
+def test_left_deep_join_applies_conditions_when_available(star_catalog):
+    leaves = [BaseRelation("sales"), BaseRelation("products"), BaseRelation("stores")]
+    conditions = [("product_id", "p_id"), ("store_id", "st_id")]
+    rebuilt = left_deep_join(leaves, conditions, star_catalog)
+    joins = [node for node in walk(rebuilt) if isinstance(node, Join)]
+    assert len(joins) == 2
+    applied = {cond for join in joins for cond in join.conditions}
+    # Both conditions applied somewhere (possibly with sides swapped).
+    assert len(applied) == 2
+    schema = derive_schema(rebuilt, star_catalog)
+    assert "p_name" in schema and "st_city" in schema and "amount" in schema
+
+
+def test_left_deep_join_requires_leaves(star_catalog):
+    with pytest.raises(ValueError):
+        left_deep_join([], [], star_catalog)

@@ -1,0 +1,105 @@
+"""Unit tests for schema and statistics derivation over expressions."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    Aggregate,
+    AggregateFunc,
+    AggregateSpec,
+    BaseRelation,
+    Difference,
+    Distinct,
+    Join,
+    Project,
+    Select,
+    UnionAll,
+)
+from repro.algebra.predicates import eq, lt
+from repro.algebra.schema_derivation import derive_schema, derive_stats, predicate_selectivity
+
+
+def sales_products_join():
+    return Join(BaseRelation("sales"), BaseRelation("products"), [("product_id", "p_id")])
+
+
+def test_base_relation_schema_and_stats(star_catalog):
+    schema = derive_schema(BaseRelation("sales"), star_catalog)
+    stats = derive_stats(BaseRelation("sales"), star_catalog)
+    assert "amount" in schema
+    assert stats.cardinality == 6.0
+
+
+def test_join_schema_concatenates(star_catalog):
+    schema = derive_schema(sales_products_join(), star_catalog)
+    assert len(schema) == len(derive_schema(BaseRelation("sales"), star_catalog)) + len(
+        derive_schema(BaseRelation("products"), star_catalog)
+    )
+
+
+def test_join_cardinality_foreign_key(star_catalog):
+    stats = derive_stats(sales_products_join(), star_catalog)
+    # Every sale matches exactly one product.
+    assert stats.cardinality == pytest.approx(6.0)
+
+
+def test_select_schema_unchanged_and_cardinality_reduced(star_catalog):
+    expression = Select(BaseRelation("sales"), eq("product_id", 10))
+    assert derive_schema(expression, star_catalog).names == derive_schema(
+        BaseRelation("sales"), star_catalog
+    ).names
+    stats = derive_stats(expression, star_catalog)
+    assert stats.cardinality == pytest.approx(2.0)
+
+
+def test_project_schema_and_width(star_catalog):
+    expression = Project(BaseRelation("sales"), ["sale_id", "amount"])
+    schema = derive_schema(expression, star_catalog)
+    assert schema.names == ("sale_id", "amount")
+    stats = derive_stats(expression, star_catalog)
+    assert stats.tuple_width == schema.tuple_width
+    assert stats.cardinality == 6.0
+
+
+def test_aggregate_schema_and_group_count(star_catalog):
+    expression = Aggregate(
+        BaseRelation("sales"),
+        ["product_id"],
+        [AggregateSpec(AggregateFunc.SUM, "amount", "total"), AggregateSpec(AggregateFunc.COUNT, None, "n")],
+    )
+    schema = derive_schema(expression, star_catalog)
+    assert schema.names == ("product_id", "total", "n")
+    stats = derive_stats(expression, star_catalog)
+    assert stats.cardinality == pytest.approx(3.0)
+
+
+def test_scalar_aggregate_has_one_group(star_catalog):
+    expression = Aggregate(BaseRelation("sales"), [], [AggregateSpec(AggregateFunc.COUNT, None, "n")])
+    assert derive_stats(expression, star_catalog).cardinality == 1.0
+
+
+def test_union_difference_distinct_stats(star_catalog):
+    sales = BaseRelation("sales")
+    union = UnionAll([sales, sales])
+    assert derive_stats(union, star_catalog).cardinality == 12.0
+    difference = Difference(union, sales)
+    assert derive_stats(difference, star_catalog).cardinality == pytest.approx(6.0)
+    distinct = Distinct(BaseRelation("products"))
+    assert derive_stats(distinct, star_catalog).cardinality <= 3.0
+
+
+def test_predicate_selectivity_combines_conjuncts(star_catalog):
+    stats = derive_stats(BaseRelation("sales"), star_catalog)
+    from repro.algebra.predicates import And
+
+    predicate = And([eq("product_id", 10), eq("store_id", 100)])
+    assert predicate_selectivity(predicate, stats) == pytest.approx((1 / 3) * (1 / 3))
+
+
+def test_unknown_expression_type_raises(star_catalog):
+    class Weird:  # not an Expression
+        pass
+
+    with pytest.raises(TypeError):
+        derive_schema(Weird(), star_catalog)  # type: ignore[arg-type]
+    with pytest.raises(TypeError):
+        derive_stats(Weird(), star_catalog)  # type: ignore[arg-type]

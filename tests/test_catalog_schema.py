@@ -1,0 +1,96 @@
+"""Unit tests for schemas and table definitions."""
+
+import pytest
+
+from repro.catalog.schema import Column, ColumnType, Schema, SchemaError, TableDef
+
+
+def test_column_default_widths():
+    assert Column("x", ColumnType.INTEGER).byte_width == 4
+    assert Column("x", ColumnType.FLOAT).byte_width == 8
+    assert Column("x", ColumnType.STRING).byte_width == 24
+    assert Column("x", ColumnType.BOOLEAN).byte_width == 1
+
+
+def test_column_explicit_width_overrides_type_default():
+    assert Column("name", ColumnType.STRING, width=55).byte_width == 55
+
+
+def test_column_unqualified_strips_table_prefix():
+    assert Column("orders.o_orderkey").unqualified == "o_orderkey"
+    assert Column("o_orderkey").unqualified == "o_orderkey"
+
+
+def test_column_renamed_keeps_type_and_width():
+    renamed = Column("a", ColumnType.FLOAT, width=16).renamed("b")
+    assert renamed.name == "b"
+    assert renamed.ctype is ColumnType.FLOAT
+    assert renamed.byte_width == 16
+
+
+def test_schema_from_names_and_len():
+    schema = Schema.from_names(["a", "b", "c"])
+    assert len(schema) == 3
+    assert schema.names == ("a", "b", "c")
+
+
+def test_schema_tuple_width_sums_columns():
+    schema = Schema.of(Column("a", ColumnType.INTEGER), Column("b", ColumnType.FLOAT))
+    assert schema.tuple_width == 12
+
+
+def test_schema_tuple_width_never_zero():
+    assert Schema(()).tuple_width == 1
+
+
+def test_index_of_exact_and_suffix_match():
+    schema = Schema.from_names(["orders.o_orderkey", "orders.o_custkey"])
+    assert schema.index_of("orders.o_orderkey") == 0
+    assert schema.index_of("o_custkey") == 1
+
+
+def test_index_of_missing_column_raises():
+    schema = Schema.from_names(["a", "b"])
+    with pytest.raises(SchemaError):
+        schema.index_of("missing")
+
+
+def test_index_of_ambiguous_suffix_raises():
+    schema = Schema.from_names(["t1.key", "t2.key"])
+    with pytest.raises(SchemaError):
+        schema.index_of("key")
+
+
+def test_contains_uses_resolution():
+    schema = Schema.from_names(["orders.o_orderkey"])
+    assert "o_orderkey" in schema
+    assert "missing" not in schema
+
+
+def test_project_preserves_order_of_request():
+    schema = Schema.from_names(["a", "b", "c"])
+    projected = schema.project(["c", "a"])
+    assert projected.names == ("c", "a")
+
+
+def test_concat_appends_columns():
+    left = Schema.from_names(["a"])
+    right = Schema.from_names(["b", "c"])
+    assert left.concat(right).names == ("a", "b", "c")
+
+
+def test_rename_prefix_requalifies_all_columns():
+    schema = Schema.from_names(["t.a", "b"])
+    renamed = schema.rename_prefix("x")
+    assert renamed.names == ("x.a", "x.b")
+
+
+def test_positions_resolves_many_names():
+    schema = Schema.from_names(["a", "b", "c"])
+    assert schema.positions(["c", "b"]) == [2, 1]
+
+
+def test_tabledef_tuple_width_delegates_to_schema():
+    schema = Schema.of(Column("a", ColumnType.INTEGER), Column("b", ColumnType.STRING))
+    table = TableDef("t", schema, ("a",))
+    assert table.tuple_width == schema.tuple_width

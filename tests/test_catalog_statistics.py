@@ -1,0 +1,119 @@
+"""Unit tests for statistics and selectivity estimation."""
+
+import pytest
+
+from repro.catalog.schema import Schema
+from repro.catalog.statistics import (
+    ColumnStats,
+    TableStats,
+    difference_cardinality,
+    distinct_cardinality,
+    estimate_group_count,
+    estimate_join_cardinality,
+    estimate_selectivity,
+    join_selectivity,
+    union_cardinality,
+)
+from repro.storage.relation import Relation
+
+
+@pytest.fixture
+def stats():
+    return TableStats(
+        1000.0,
+        32,
+        {
+            "key": ColumnStats(distinct=1000, min_value=1, max_value=1000),
+            "group": ColumnStats(distinct=10, min_value=0, max_value=9),
+            "value": ColumnStats(distinct=100, min_value=0, max_value=100),
+        },
+    )
+
+
+def test_size_bytes(stats):
+    assert stats.size_bytes == 1000 * 32
+
+
+def test_distinct_clamped_by_cardinality():
+    s = TableStats(5.0, 8, {"a": ColumnStats(distinct=100)})
+    assert s.distinct("a") == 5.0
+
+
+def test_distinct_fallback_without_stats(stats):
+    # Unknown column: falls back to a fraction of the cardinality.
+    assert stats.distinct("unknown") == pytest.approx(100.0)
+
+
+def test_with_cardinality_clamps_column_distincts(stats):
+    reduced = stats.with_cardinality(5.0)
+    assert reduced.cardinality == 5.0
+    assert reduced.distinct("key") == 5.0
+
+
+def test_scaled_scales_cardinality(stats):
+    assert stats.scaled(0.1).cardinality == pytest.approx(100.0)
+
+
+def test_equality_selectivity_uses_distinct(stats):
+    assert estimate_selectivity("==", stats, "group") == pytest.approx(0.1)
+
+
+def test_inequality_selectivity_complements_equality(stats):
+    assert estimate_selectivity("!=", stats, "group") == pytest.approx(0.9)
+
+
+def test_range_selectivity_interpolates(stats):
+    assert estimate_selectivity("<", stats, "value", 50) == pytest.approx(0.5)
+    assert estimate_selectivity(">", stats, "value", 75) == pytest.approx(0.25)
+
+
+def test_range_selectivity_clamps_to_bounds(stats):
+    assert estimate_selectivity("<", stats, "value", 1000) == 1.0
+
+
+def test_unknown_operator_raises(stats):
+    with pytest.raises(ValueError):
+        estimate_selectivity("like", stats, "value", 1)
+
+
+def test_join_selectivity_containment():
+    left = TableStats(100.0, 8, {"k": ColumnStats(distinct=100)})
+    right = TableStats(1000.0, 8, {"k2": ColumnStats(distinct=500)})
+    assert join_selectivity(left, right, "k", "k2") == pytest.approx(1 / 500)
+
+
+def test_join_cardinality_foreign_key_shape():
+    dim = TableStats(100.0, 8, {"d_id": ColumnStats(distinct=100)})
+    fact = TableStats(10000.0, 8, {"f_d_id": ColumnStats(distinct=100)})
+    # Every fact row matches exactly one dimension row.
+    assert estimate_join_cardinality(fact, dim, [("f_d_id", "d_id")]) == pytest.approx(10000.0)
+
+
+def test_group_count_capped_by_cardinality(stats):
+    assert estimate_group_count(stats, ["key", "group"]) == 1000.0
+    assert estimate_group_count(stats, ["group"]) == 10.0
+
+
+def test_group_count_no_groups(stats):
+    assert estimate_group_count(stats, []) == 1.0
+
+
+def test_union_and_difference_cardinality(stats):
+    other = TableStats(200.0, 32)
+    assert union_cardinality([stats, other]) == 1200.0
+    assert difference_cardinality(stats, other) == 800.0
+    assert difference_cardinality(other, stats) == 0.0
+
+
+def test_distinct_cardinality(stats):
+    assert distinct_cardinality(stats, ["group"]) == 10.0
+
+
+def test_from_relation_measures_distincts_and_bounds():
+    schema = Schema.from_names(["a", "b"])
+    relation = Relation(schema, [(1, 5), (1, 6), (2, 7)])
+    measured = TableStats.from_relation(relation)
+    assert measured.cardinality == 3.0
+    assert measured.distinct("a") == 2.0
+    assert measured.column("b").min_value == 5.0
+    assert measured.column("b").max_value == 7.0

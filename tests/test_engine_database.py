@@ -1,0 +1,100 @@
+"""Unit tests for the Database runtime container."""
+
+import pytest
+
+from repro.catalog.catalog import IndexDef
+from repro.catalog.schema import Schema, TableDef
+from repro.engine.database import Database, DatabaseError
+from repro.storage.delta import Delta, DeltaKind
+from repro.storage.relation import Relation
+
+
+def test_create_and_lookup_table(star_database):
+    assert star_database.has_relation("sales")
+    assert len(star_database.table("sales")) == 6
+    assert set(star_database.table_names()) == {"sales", "products", "stores"}
+
+
+def test_missing_relation_raises(star_database):
+    with pytest.raises(DatabaseError):
+        star_database.table("missing")
+    with pytest.raises(DatabaseError):
+        star_database.view("missing")
+
+
+def test_load_table_replaces_contents_and_stats(star_database):
+    schema = star_database.table("products").schema
+    star_database.load_table("products", Relation(schema, [(99, "only", "misc", 1.0)]))
+    assert len(star_database.table("products")) == 1
+    assert star_database.catalog.stats("products").cardinality == 1.0
+
+
+def test_load_unknown_table_raises(star_database):
+    with pytest.raises(DatabaseError):
+        star_database.load_table("nope", Relation(Schema.from_names(["x"]), []))
+
+
+def test_materialize_and_drop_view(star_database):
+    view = Relation(Schema.from_names(["x"]), [(1,)])
+    star_database.materialize_view("v", view)
+    assert star_database.has_view("v")
+    assert star_database.view_names() == ["v"]
+    assert star_database.table("v") is view  # views resolvable as relations
+    star_database.drop_view("v")
+    assert not star_database.has_view("v")
+
+
+def test_apply_update_insert_and_delete(star_database):
+    schema = star_database.table("stores").schema
+    star_database.apply_update("stores", DeltaKind.INSERT, Relation(schema, [(103, "newtown", "east")]))
+    assert len(star_database.table("stores")) == 4
+    star_database.apply_update("stores", DeltaKind.DELETE, Relation(schema, [(103, "newtown", "east")]))
+    assert len(star_database.table("stores")) == 3
+
+
+def test_apply_delta_applies_inserts_then_deletes(star_database):
+    schema = star_database.table("stores").schema
+    delta = Delta(
+        "stores",
+        inserts=Relation(schema, [(104, "x", "y")]),
+        deletes=Relation(schema, [(100, "springfield", "north")]),
+    )
+    star_database.apply_delta(delta)
+    keys = {row[0] for row in star_database.table("stores")}
+    assert 104 in keys and 100 not in keys
+
+
+def test_update_view_merges_differential(star_database):
+    schema = Schema.from_names(["k"])
+    star_database.materialize_view("v", Relation(schema, [(1,), (2,)]))
+    star_database.update_view("v", inserts=Relation(schema, [(3,)]), deletes=Relation(schema, [(1,)]))
+    assert sorted(star_database.view("v").rows) == [(2,), (3,)]
+
+
+def test_indexes_rebuilt_after_update(star_database):
+    index = star_database.index_for("sales", ["sale_id"])
+    assert index is not None
+    schema = star_database.table("sales").schema
+    star_database.apply_update("sales", DeltaKind.INSERT, Relation(schema, [(7, 10, 100, 1, 5.0)]))
+    rebuilt = star_database.index_for("sales", ["sale_id"])
+    assert rebuilt.lookup((7,))
+
+
+def test_statistics_refresh_on_update(star_database):
+    schema = star_database.table("sales").schema
+    before = star_database.catalog.stats("sales").cardinality
+    star_database.apply_update("sales", DeltaKind.INSERT, Relation(schema, [(8, 10, 100, 1, 5.0)]))
+    assert star_database.catalog.stats("sales").cardinality == before + 1
+
+
+def test_copy_is_deep_for_contents(star_database):
+    clone = star_database.copy()
+    schema = clone.table("sales").schema
+    clone.apply_update("sales", DeltaKind.INSERT, Relation(schema, [(9, 10, 100, 1, 5.0)]))
+    assert len(clone.table("sales")) == len(star_database.table("sales")) + 1
+
+
+def test_build_index_registers_in_catalog(star_database):
+    star_database.build_index(IndexDef("sales", ("product_id",), kind="hash"))
+    assert star_database.catalog.has_index_on("sales", ["product_id"])
+    assert star_database.index_for("sales", ["product_id"]) is not None

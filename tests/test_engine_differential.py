@@ -1,0 +1,200 @@
+"""Tests for differential (delta) propagation through expressions.
+
+The central invariant — the one the whole maintenance machinery rests on —
+is checked for every operator shape:
+
+    new(E)  ==  old(E)  −  δ−(E)  ∪  δ+(E)
+
+where ``new(E)`` recomputes the expression after applying the base update.
+"""
+
+import pytest
+
+from repro.algebra.expressions import (
+    Aggregate,
+    AggregateFunc,
+    AggregateSpec,
+    BaseRelation,
+    Difference,
+    Distinct,
+    Join,
+    Project,
+    Select,
+    UnionAll,
+)
+from repro.algebra.predicates import eq, gt
+from repro.engine.differential import differentiate
+from repro.engine.executor import MaterializedRegistry, evaluate
+from repro.storage.delta import DeltaKind
+from repro.storage.relation import Relation
+
+
+def check_invariant(expression, database, relation, kind, delta_rows, materialized=None):
+    """Assert the differential invariant and return the computed delta."""
+    old_result = evaluate(expression, database)
+    delta = differentiate(expression, database, relation, kind, delta_rows, materialized=materialized)
+    updated = database.copy()
+    updated.apply_update(relation, kind, delta_rows)
+    new_result = evaluate(expression, updated)
+    incremental = old_result.apply_delta(inserts=delta.inserts, deletes=delta.deletes)
+    assert incremental.same_bag(new_result)
+    return delta
+
+
+def sales_schema(db):
+    return db.table("sales").schema
+
+
+def join_expression():
+    return Join(
+        Join(BaseRelation("sales"), BaseRelation("products"), [("product_id", "p_id")]),
+        BaseRelation("stores"),
+        [("store_id", "st_id")],
+    )
+
+
+def test_base_relation_insert_delta(star_database):
+    rows = Relation(sales_schema(star_database), [(7, 10, 100, 1, 5.0)])
+    delta = check_invariant(BaseRelation("sales"), star_database, "sales", DeltaKind.INSERT, rows)
+    assert len(delta.inserts) == 1 and len(delta.deletes) == 0
+
+
+def test_base_relation_delete_delta(star_database):
+    rows = Relation(sales_schema(star_database), [(1, 10, 100, 2, 20.0)])
+    delta = check_invariant(BaseRelation("sales"), star_database, "sales", DeltaKind.DELETE, rows)
+    assert len(delta.deletes) == 1 and len(delta.inserts) == 0
+
+
+def test_unrelated_relation_gives_empty_delta(star_database):
+    rows = Relation(star_database.table("stores").schema, [(103, "x", "y")])
+    delta = differentiate(BaseRelation("sales"), star_database, "stores", DeltaKind.INSERT, rows)
+    assert delta.is_empty
+
+
+def test_select_delta_filters(star_database):
+    expression = Select(BaseRelation("sales"), gt("amount", 25.0))
+    rows = Relation(sales_schema(star_database), [(7, 10, 100, 1, 5.0), (8, 11, 100, 1, 50.0)])
+    delta = check_invariant(expression, star_database, "sales", DeltaKind.INSERT, rows)
+    assert len(delta.inserts) == 1  # only the 50.0 row passes the filter
+
+
+def test_project_delta(star_database):
+    expression = Project(BaseRelation("sales"), ["product_id", "amount"])
+    rows = Relation(sales_schema(star_database), [(7, 12, 101, 1, 9.0)])
+    delta = check_invariant(expression, star_database, "sales", DeltaKind.INSERT, rows)
+    assert delta.inserts.rows == [(12, 9.0)]
+
+
+def test_join_delta_on_fact_insert(star_database):
+    rows = Relation(sales_schema(star_database), [(7, 10, 102, 3, 33.0)])
+    delta = check_invariant(join_expression(), star_database, "sales", DeltaKind.INSERT, rows)
+    assert len(delta.inserts) == 1
+
+
+def test_join_delta_on_dimension_insert(star_database):
+    products_schema = star_database.table("products").schema
+    rows = Relation(products_schema, [(13, "doohickey", "toys", 3.0)])
+    delta = check_invariant(join_expression(), star_database, "products", DeltaKind.INSERT, rows)
+    assert delta.is_empty  # no sale references the new product yet
+
+
+def test_join_delta_on_dimension_delete(star_database):
+    products_schema = star_database.table("products").schema
+    rows = Relation(products_schema, [(10, "widget", "tools", 10.0)])
+    delta = check_invariant(join_expression(), star_database, "products", DeltaKind.DELETE, rows)
+    assert len(delta.deletes) == 2  # sales 1 and 2 reference product 10
+
+
+def test_join_delta_self_join_both_sides(star_database):
+    # The same relation on both sides of a join: the paper's union-of-two-joins case.
+    expression = Join(BaseRelation("sales"), BaseRelation("sales"), [("product_id", "product_id")])
+    rows = Relation(sales_schema(star_database), [(7, 10, 102, 3, 33.0)])
+    check_invariant(expression, star_database, "sales", DeltaKind.INSERT, rows)
+
+
+def test_aggregate_delta_insert_updates_affected_group(star_database):
+    expression = Aggregate(
+        BaseRelation("sales"),
+        ["store_id"],
+        [AggregateSpec(AggregateFunc.SUM, "amount", "revenue"), AggregateSpec(AggregateFunc.COUNT, None, "n")],
+    )
+    rows = Relation(sales_schema(star_database), [(7, 10, 100, 1, 5.0)])
+    delta = check_invariant(expression, star_database, "sales", DeltaKind.INSERT, rows)
+    assert len(delta.deletes) == 1 and len(delta.inserts) == 1
+    assert delta.deletes.rows[0][0] == 100 and delta.inserts.rows[0][0] == 100
+
+
+def test_aggregate_delta_delete_can_remove_group(star_database):
+    expression = Aggregate(
+        BaseRelation("sales"), ["store_id"], [AggregateSpec(AggregateFunc.COUNT, None, "n")]
+    )
+    rows = Relation(sales_schema(star_database), [(4, 12, 102, 1, 30.0)])
+    delta = check_invariant(expression, star_database, "sales", DeltaKind.DELETE, rows)
+    # Store 102 had exactly one sale: the group disappears entirely.
+    assert delta.deletes.rows == [(102, 1)]
+    assert delta.inserts.rows == []
+
+
+def test_aggregate_delta_min_max_under_delete(star_database):
+    expression = Aggregate(
+        BaseRelation("sales"), ["product_id"], [AggregateSpec(AggregateFunc.MAX, "amount", "peak")]
+    )
+    # Delete the current maximum for product 12 (amount 120).
+    rows = Relation(sales_schema(star_database), [(6, 12, 100, 4, 120.0)])
+    delta = check_invariant(expression, star_database, "sales", DeltaKind.DELETE, rows)
+    assert (12, 120.0) in delta.deletes.rows
+    assert (12, 30.0) in delta.inserts.rows
+
+
+def test_aggregate_delta_uses_materialized_old_result(star_database):
+    expression = Aggregate(
+        BaseRelation("sales"), ["store_id"], [AggregateSpec(AggregateFunc.SUM, "amount", "revenue")]
+    )
+    registry = MaterializedRegistry()
+    star_database.materialize_view("v_rev", evaluate(expression, star_database))
+    registry.register(expression, "v_rev")
+    rows = Relation(sales_schema(star_database), [(7, 10, 101, 1, 5.0)])
+    delta = check_invariant(
+        expression, star_database, "sales", DeltaKind.INSERT, rows, materialized=registry
+    )
+    assert len(delta.inserts) == 1
+
+
+def test_scalar_aggregate_delta(star_database):
+    expression = Aggregate(BaseRelation("sales"), [], [AggregateSpec(AggregateFunc.COUNT, None, "n")])
+    rows = Relation(sales_schema(star_database), [(7, 10, 100, 1, 5.0)])
+    delta = check_invariant(expression, star_database, "sales", DeltaKind.INSERT, rows)
+    assert delta.deletes.rows == [(6,)] and delta.inserts.rows == [(7,)]
+
+
+def test_union_delta(star_database):
+    expression = UnionAll([BaseRelation("sales"), BaseRelation("sales")])
+    rows = Relation(sales_schema(star_database), [(7, 10, 100, 1, 5.0)])
+    delta = check_invariant(expression, star_database, "sales", DeltaKind.INSERT, rows)
+    assert len(delta.inserts) == 2  # the inserted row appears in both branches
+
+
+def test_difference_delta(star_database):
+    expression = Difference(
+        Project(BaseRelation("sales"), ["product_id"]),
+        Project(Select(BaseRelation("sales"), gt("amount", 100.0)), ["product_id"]),
+    )
+    rows = Relation(sales_schema(star_database), [(7, 12, 100, 9, 999.0)])
+    check_invariant(expression, star_database, "sales", DeltaKind.INSERT, rows)
+
+
+def test_distinct_delta(star_database):
+    expression = Distinct(Project(BaseRelation("sales"), ["store_id"]))
+    # Insert a sale in a brand-new store: distinct gains a row.
+    schema = sales_schema(star_database)
+    star_database.apply_update("stores", DeltaKind.INSERT, Relation(star_database.table("stores").schema, [(103, "newtown", "east")]))
+    rows = Relation(schema, [(7, 10, 103, 1, 5.0)])
+    delta = check_invariant(expression, star_database, "sales", DeltaKind.INSERT, rows)
+    assert delta.inserts.rows == [(103,)]
+
+
+def test_distinct_delta_no_change_for_existing_value(star_database):
+    expression = Distinct(Project(BaseRelation("sales"), ["store_id"]))
+    rows = Relation(sales_schema(star_database), [(8, 10, 100, 1, 5.0)])
+    delta = check_invariant(expression, star_database, "sales", DeltaKind.INSERT, rows)
+    assert delta.is_empty

@@ -1,0 +1,83 @@
+"""Tests for candidate enumeration."""
+
+import pytest
+
+from repro.maintenance.candidates import enumerate_candidates
+from repro.maintenance.diff_dag import DifferentialAnnotations, ResultKey
+from repro.maintenance.update_spec import UpdateSpec
+from repro.optimizer.dag_builder import build_dag
+from repro.workloads import queries, tpcd
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpcd.tpcd_catalog(scale_factor=0.1)
+
+
+@pytest.fixture(scope="module")
+def prepared(catalog):
+    views = queries.standalone_join_view()
+    dag = build_dag(views, catalog)
+    spec = UpdateSpec.uniform(0.1, ["customer", "lineitem", "nation", "orders"])
+    annotations = DifferentialAnnotations(dag, catalog, spec)
+    initial = {ResultKey(dag.roots[name].id, 0) for name in views}
+    return dag, annotations, initial
+
+
+def test_base_relations_never_offered_as_results(prepared, catalog):
+    dag, annotations, initial = prepared
+    candidates = enumerate_candidates(dag, catalog, annotations, initial)
+    base_ids = {n.id for n in dag.equivalence_nodes if n.is_base_relation}
+    for candidate in candidates:
+        if candidate.kind == "result":
+            assert candidate.node_id not in base_ids
+
+
+def test_initial_views_not_reoffered(prepared, catalog):
+    dag, annotations, initial = prepared
+    candidates = enumerate_candidates(dag, catalog, annotations, initial)
+    for candidate in candidates:
+        if candidate.kind == "result":
+            assert candidate.key not in initial
+
+
+def test_differentials_only_with_flag(prepared, catalog):
+    dag, annotations, initial = prepared
+    without = enumerate_candidates(dag, catalog, annotations, initial, include_differentials=False)
+    with_diffs = enumerate_candidates(dag, catalog, annotations, initial, include_differentials=True)
+    assert all(c.key.is_full for c in without if c.kind == "result")
+    assert any(c.kind == "result" and not c.key.is_full for c in with_diffs)
+    assert len(with_diffs) > len(without)
+
+
+def test_index_candidates_skip_existing_catalog_indexes(prepared, catalog):
+    dag, annotations, initial = prepared
+    candidates = enumerate_candidates(dag, catalog, annotations, initial)
+    for candidate in candidates:
+        if candidate.kind == "index":
+            node = dag.node(candidate.node_id)
+            if node.is_base_relation:
+                relation = node.expression.canonical()
+                assert not catalog.has_index_on(relation, candidate.columns)
+
+
+def test_index_candidates_exist_for_views_and_fk_columns(prepared, catalog):
+    dag, annotations, initial = prepared
+    candidates = enumerate_candidates(dag, catalog, annotations, initial)
+    index_targets = {(c.node_id, c.columns) for c in candidates if c.kind == "index"}
+    root = dag.roots["v_order_details"]
+    assert any(node_id == root.id for node_id, _ in index_targets), "view root should get index candidates"
+    orders_node = next(n for n in dag.equivalence_nodes if n.key == "orders")
+    assert (orders_node.id, ("o_custkey",)) in index_targets
+
+
+def test_disable_index_candidates(prepared, catalog):
+    dag, annotations, initial = prepared
+    candidates = enumerate_candidates(dag, catalog, annotations, initial, include_indexes=False)
+    assert all(c.kind == "result" for c in candidates)
+
+
+def test_max_candidates_truncates(prepared, catalog):
+    dag, annotations, initial = prepared
+    candidates = enumerate_candidates(dag, catalog, annotations, initial, max_candidates=3)
+    assert len(candidates) == 3

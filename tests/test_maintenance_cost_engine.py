@@ -1,0 +1,208 @@
+"""Tests for the maintenance cost engine (compcost / diffCost / maintcost)."""
+
+import pytest
+
+from repro.maintenance.cost_engine import MaintenanceCostEngine
+from repro.maintenance.diff_dag import DifferentialAnnotations, ResultKey
+from repro.maintenance.update_spec import UpdateSpec
+from repro.optimizer.dag_builder import build_dag
+from repro.workloads import queries, tpcd
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpcd.tpcd_catalog(scale_factor=0.1)
+
+
+def make_engine(catalog, views, percentage=0.10):
+    from repro.algebra.expressions import base_relations
+
+    dag = build_dag(views, catalog)
+    relations = sorted({r for e in views.values() for r in base_relations(e)})
+    spec = UpdateSpec.uniform(percentage, relations)
+    engine = MaintenanceCostEngine(dag, catalog, spec)
+    engine.set_materialized(ResultKey(dag.roots[name].id, 0) for name in views)
+    return dag, engine
+
+
+@pytest.fixture(scope="module")
+def join_view_engine(catalog):
+    return make_engine(catalog, queries.standalone_join_view())
+
+
+@pytest.fixture(scope="module")
+def agg_view_engine(catalog):
+    return make_engine(catalog, queries.standalone_agg_view())
+
+
+def test_compcost_positive_and_stable(join_view_engine):
+    dag, engine = join_view_engine
+    root = dag.roots["v_order_details"]
+    first = engine.compcost(root.id)
+    assert first > 0
+    assert engine.compcost(root.id) == first  # memoized, deterministic
+
+
+def test_diffcost_zero_for_unrelated_relation(catalog):
+    # Two views over disjoint relations: updates of one view's relations
+    # yield empty (zero-cost) differentials for the other view.
+    views = {
+        "v_oc": queries.chain_join(["orders", "customer"]),
+        "v_sn": queries.chain_join(["supplier", "nation"]),
+    }
+    dag, engine = make_engine(catalog, views)
+    oc_root = dag.roots["v_oc"]
+    nation_update = next(u for u in engine.annotations.updates() if u.relation == "nation")
+    assert engine.diffcost(oc_root.id, nation_update.number) == 0.0
+
+
+def test_diffcost_smaller_than_recompute_at_low_update_rate(catalog):
+    dag, engine = make_engine(catalog, queries.standalone_agg_view(), percentage=0.01)
+    root = dag.roots["v_revenue_by_nation"]
+    assert engine.maintcost(root.id) < engine.recompute_cost(root.id)
+
+
+def test_recompute_wins_at_very_high_update_rate(catalog):
+    dag, engine = make_engine(catalog, queries.standalone_join_view(), percentage=0.8)
+    root = dag.roots["v_order_details"]
+    assert engine.prefers_recomputation(root.id)
+
+
+def test_total_diff_cost_sums_updates(join_view_engine):
+    dag, engine = join_view_engine
+    root = dag.roots["v_order_details"]
+    total = engine.total_diff_cost(root.id)
+    manual = sum(
+        engine.diffcost(root.id, u.number)
+        for u in engine.annotations.updates()
+        if u.relation in root.base_relations
+    )
+    assert total == pytest.approx(manual)
+    assert engine.maintcost(root.id) == pytest.approx(total + engine.merge_cost(root.id))
+
+
+def test_materializing_full_result_reduces_consumer_compcost(catalog):
+    views = {
+        "v1": queries.chain_join(["lineitem", "orders", "customer"]),
+        "v2": queries.chain_join(["lineitem", "orders", "customer", "nation"]),
+    }
+    dag, engine = make_engine(catalog, views)
+    inner = dag.roots["v1"]
+    outer = dag.roots["v2"]
+    before = engine.compcost(outer.id)
+    engine.add_materialized(ResultKey(inner.id, 0))  # already materialized as a view; idempotent
+    shared = next(
+        n for n in dag.equivalence_nodes if n.base_relations == frozenset({"lineitem", "orders"})
+    )
+    engine.add_materialized(ResultKey(shared.id, 0))
+    after = engine.compcost(outer.id)
+    assert after <= before + 1e-9
+
+
+def test_adding_index_reduces_diffcost(catalog):
+    dag, engine = make_engine(catalog, queries.standalone_join_view())
+    root = dag.roots["v_order_details"]
+    orders_node = next(n for n in dag.equivalence_nodes if n.key == "orders")
+    update = next(u for u in engine.annotations.updates() if str(u) == "δ+customer")
+    before = engine.diffcost(root.id, update.number)
+    engine.add_index(orders_node.id, ("o_custkey",))
+    after = engine.diffcost(root.id, update.number)
+    assert after <= before + 1e-9
+    engine.remove_index(orders_node.id, ("o_custkey",))
+    assert engine.diffcost(root.id, update.number) == pytest.approx(before)
+
+
+def test_index_on_view_reduces_merge_cost(join_view_engine):
+    dag, engine = join_view_engine
+    root = dag.roots["v_order_details"]
+    with engine.speculative():
+        before = engine.merge_cost(root.id)
+        engine.add_index(root.id, ("l_orderkey",))
+        after = engine.merge_cost(root.id)
+        assert after < before
+
+
+def test_materializing_differential_enables_reuse(catalog):
+    views = {
+        "v1": queries.chain_join(["lineitem", "orders", "customer"]),
+        "v2": queries.chain_join(["lineitem", "orders", "customer", "nation"]),
+    }
+    dag, engine = make_engine(catalog, views)
+    shared = dag.roots["v1"]
+    update = next(u for u in engine.annotations.updates() if str(u) == "δ+lineitem")
+    plain = engine.diff_input_cost(shared.id, update.number)
+    engine.add_materialized(ResultKey(shared.id, update.number))
+    reused = engine.diff_input_cost(shared.id, update.number)
+    assert reused <= plain + 1e-9
+
+
+def test_speculative_rolls_back_state(join_view_engine):
+    dag, engine = join_view_engine
+    root = dag.roots["v_order_details"]
+    baseline = engine.total_cost()
+    shared = next(
+        n for n in dag.equivalence_nodes if n.base_relations == frozenset({"lineitem", "orders"})
+    )
+    with engine.speculative():
+        engine.add_materialized(ResultKey(shared.id, 0))
+        engine.add_index(root.id, ("l_orderkey",))
+        inside = engine.total_cost()
+        assert inside != baseline
+    assert engine.total_cost() == pytest.approx(baseline)
+    assert ResultKey(shared.id, 0) not in engine.materialized
+
+
+def test_incremental_invalidation_matches_full_recompute(catalog):
+    views = queries.view_set_plain()
+    dag, engine = make_engine(catalog, views)
+    shared = next(
+        n for n in dag.equivalence_nodes if n.base_relations == frozenset({"orders", "customer"})
+    )
+    # Incrementally updated costs...
+    engine.add_materialized(ResultKey(shared.id, 0))
+    incremental_total = engine.total_cost()
+    # ...must equal costs computed from scratch with the same materialized set.
+    fresh = MaintenanceCostEngine(dag, catalog, engine.spec, annotations=engine.annotations)
+    fresh.set_materialized(set(engine.materialized))
+    assert incremental_total == pytest.approx(fresh.total_cost())
+
+
+def test_result_cost_for_differentials(join_view_engine):
+    dag, engine = join_view_engine
+    root = dag.roots["v_order_details"]
+    update = engine.annotations.updates()[0]
+    key = ResultKey(root.id, update.number)
+    assert engine.result_cost(key) == pytest.approx(
+        engine.diffcost(root.id, update.number) + engine.matcost(root.id, update.number)
+    )
+
+
+def test_aggregate_diff_depends_on_materialization(catalog):
+    dag, engine = make_engine(catalog, queries.standalone_agg_view(), percentage=0.05)
+    root = dag.roots["v_revenue_by_nation"]
+    update = next(u for u in engine.annotations.updates() if str(u) == "δ+lineitem")
+    materialized_cost = engine.diffcost(root.id, update.number)
+    engine.remove_materialized(ResultKey(root.id, 0))
+    unmaterialized_cost = engine.diffcost(root.id, update.number)
+    assert unmaterialized_cost > materialized_cost
+    engine.add_materialized(ResultKey(root.id, 0))
+
+
+def test_index_cost_positive_for_updated_targets(join_view_engine):
+    dag, engine = join_view_engine
+    orders_node = next(n for n in dag.equivalence_nodes if n.key == "orders")
+    assert engine.index_cost(orders_node.id, ("o_custkey",)) > 0
+    root = dag.roots["v_order_details"]
+    assert engine.index_cost(root.id, ("l_orderkey",)) > 0
+
+
+def test_total_cost_includes_index_maintenance(join_view_engine):
+    dag, engine = join_view_engine
+    root = dag.roots["v_order_details"]
+    with engine.speculative():
+        base = engine.total_cost()
+        without_index_costs = engine.total_cost(index_costs=False)
+        assert base == pytest.approx(without_index_costs)
+        orders_node = next(n for n in dag.equivalence_nodes if n.key == "orders")
+        engine.add_index(orders_node.id, ("o_custkey",))
+        assert engine.total_cost() >= engine.total_cost(index_costs=False)

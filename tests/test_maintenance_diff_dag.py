@@ -1,0 +1,102 @@
+"""Tests for differential annotations over the DAG (paper §5.2)."""
+
+import pytest
+
+from repro.maintenance.diff_dag import DeltaCatalog, DifferentialAnnotations, ResultKey
+from repro.maintenance.update_spec import UpdateSpec
+from repro.optimizer.dag_builder import build_dag
+from repro.storage.delta import DeltaKind
+from repro.workloads import queries, tpcd
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpcd.tpcd_catalog(scale_factor=0.1)
+
+
+@pytest.fixture(scope="module")
+def annotated(catalog):
+    dag = build_dag({"V": queries.standalone_join_view()["v_order_details"]}, catalog)
+    spec = UpdateSpec.uniform(0.10, ["customer", "lineitem", "nation", "orders"])
+    return dag, DifferentialAnnotations(dag, catalog, spec)
+
+
+def test_two_updates_per_relation(annotated):
+    dag, annotations = annotated
+    assert len(annotations.updates()) == 2 * 4
+    numbers = [u.number for u in annotations.updates()]
+    assert numbers == sorted(numbers)
+
+
+def test_update_by_number_roundtrip(annotated):
+    _, annotations = annotated
+    for update in annotations.updates():
+        assert annotations.update_by_number(update.number) == update
+    with pytest.raises(KeyError):
+        annotations.update_by_number(999)
+
+
+def test_delta_cardinality_of_base_relation_matches_spec(annotated, catalog):
+    dag, annotations = annotated
+    orders_node = next(n for n in dag.equivalence_nodes if n.key == "orders")
+    insert = next(u for u in annotations.updates() if str(u) == "δ+orders")
+    stats = annotations.delta_stats(orders_node.id, insert.number)
+    assert stats.cardinality == pytest.approx(catalog.stats("orders").cardinality * 0.10)
+
+
+def test_delta_cardinality_propagates_through_joins(annotated, catalog):
+    dag, annotations = annotated
+    root = dag.roots["V"]
+    insert_lineitem = next(u for u in annotations.updates() if str(u) == "δ+lineitem")
+    stats = annotations.delta_stats(root.id, insert_lineitem.number)
+    # Each inserted lineitem joins with exactly one order/customer/nation.
+    assert stats.cardinality == pytest.approx(
+        catalog.stats("lineitem").cardinality * 0.10, rel=0.05
+    )
+
+
+def test_unaffected_node_has_empty_delta(annotated):
+    dag, annotations = annotated
+    nation_node = next(n for n in dag.equivalence_nodes if n.key == "nation")
+    insert_orders = next(u for u in annotations.updates() if str(u) == "δ+orders")
+    assert not annotations.depends(nation_node, insert_orders)
+    assert annotations.delta_stats(nation_node.id, insert_orders.number).cardinality == 0.0
+
+
+def test_deletes_are_half_of_inserts(annotated):
+    dag, annotations = annotated
+    root = dag.roots["V"]
+    insert = next(u for u in annotations.updates() if str(u) == "δ+orders")
+    delete = next(u for u in annotations.updates() if str(u) == "δ-orders")
+    plus = annotations.delta_stats(root.id, insert.number).cardinality
+    minus = annotations.delta_stats(root.id, delete.number).cardinality
+    assert minus == pytest.approx(plus / 2, rel=0.05)
+
+
+def test_delta_stats_list_and_total(annotated):
+    dag, annotations = annotated
+    root = dag.roots["V"]
+    stats_list = annotations.delta_stats_list(root.id)
+    assert len(stats_list) == 8
+    assert annotations.total_delta_cardinality(root.id) == pytest.approx(
+        sum(s.cardinality for s in stats_list)
+    )
+
+
+def test_delta_catalog_overrides_one_relation(catalog):
+    spec = UpdateSpec.uniform(0.10, ["orders"])
+    delta_stats = spec.delta_stats(catalog, "orders", DeltaKind.INSERT)
+    view = DeltaCatalog(catalog, "orders", delta_stats)
+    assert view.stats("orders").cardinality == pytest.approx(delta_stats.cardinality)
+    assert view.stats("customer").cardinality == catalog.stats("customer").cardinality
+    assert view.schema("orders").names == catalog.schema("orders").names
+    assert view.has_table("orders")
+
+
+def test_result_key_describe(annotated):
+    dag, _ = annotated
+    root = dag.roots["V"]
+    assert ResultKey(root.id, 0).describe(dag) == "V"
+    assert ResultKey(root.id, 3).describe(dag).startswith("δ3(")
+    assert ResultKey(root.id, 0).is_full
+    assert not ResultKey(root.id, 1).is_full

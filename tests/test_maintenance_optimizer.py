@@ -1,0 +1,85 @@
+"""Tests for the high-level ViewMaintenanceOptimizer facade."""
+
+import pytest
+
+from repro.maintenance.optimizer import ViewMaintenanceOptimizer
+from repro.maintenance.update_spec import UpdateSpec
+from repro.workloads import queries, tpcd
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpcd.tpcd_catalog(scale_factor=0.1)
+
+
+@pytest.fixture(scope="module")
+def optimizer(catalog):
+    return ViewMaintenanceOptimizer(catalog)
+
+
+def test_no_greedy_reports_per_view_decisions(optimizer):
+    result = optimizer.no_greedy(queries.view_set_plain(), UpdateSpec.uniform(0.05))
+    assert result.selection is None
+    assert len(result.plan.decisions) == 5
+    assert result.total_cost == pytest.approx(result.plan.total_cost)
+
+
+def test_greedy_beats_or_matches_no_greedy(optimizer):
+    views = queries.view_set_plain()
+    spec = UpdateSpec.uniform(0.05)
+    no_greedy = optimizer.no_greedy(views, spec)
+    greedy = optimizer.optimize(views, spec)
+    assert greedy.total_cost <= no_greedy.total_cost + 1e-9
+    assert greedy.selection is not None
+    assert greedy.optimization_seconds >= 0
+
+
+def test_greedy_benefit_largest_at_low_update_percentage(optimizer):
+    views = queries.standalone_join_view()
+    low = optimizer.compare(views, UpdateSpec.uniform(0.01))
+    high = optimizer.compare(views, UpdateSpec.uniform(0.8))
+    low_ratio = low["no_greedy"].total_cost / low["greedy"].total_cost
+    high_ratio = high["no_greedy"].total_cost / max(high["greedy"].total_cost, 1e-9)
+    assert low_ratio >= high_ratio
+    assert low_ratio > 1.5
+
+
+def test_indexes_selected_when_missing(catalog):
+    bare_catalog = tpcd.tpcd_catalog(scale_factor=0.1, with_pk_indexes=False)
+    optimizer = ViewMaintenanceOptimizer(bare_catalog)
+    result = optimizer.optimize(queries.standalone_join_view(), UpdateSpec.uniform(0.01))
+    assert result.indexes, "Greedy should pick indexes when none exist"
+
+
+def test_extra_materializations_listing(optimizer):
+    result = optimizer.optimize(queries.view_set_aggregate(), UpdateSpec.uniform(0.2))
+    assert result.extra_materializations == len(result.permanent_results) + len(
+        result.temporary_results
+    )
+    for label in result.indexes:
+        assert label.startswith("index(")
+
+
+def test_max_selections_is_respected(optimizer):
+    result = optimizer.optimize(
+        queries.view_set_plain(), UpdateSpec.uniform(0.05), max_selections=1
+    )
+    assert len(result.selection.selections) <= 1
+
+
+def test_differential_candidates_can_be_enabled(catalog):
+    optimizer = ViewMaintenanceOptimizer(catalog, include_differential_candidates=True)
+    result = optimizer.optimize(queries.view_set_plain(), UpdateSpec.uniform(0.05))
+    baseline = ViewMaintenanceOptimizer(catalog).optimize(
+        queries.view_set_plain(), UpdateSpec.uniform(0.05)
+    )
+    # More candidate types can only help (or tie), never hurt.
+    assert result.total_cost <= baseline.total_cost * 1.01
+
+
+def test_plan_reflects_final_configuration(optimizer):
+    views = queries.standalone_agg_view()
+    result = optimizer.optimize(views, UpdateSpec.uniform(0.01))
+    decision = result.plan.decision_for("v_revenue_by_nation")
+    assert decision.strategy == "incremental"
+    assert decision.cost <= decision.recompute_cost

@@ -1,0 +1,57 @@
+"""Tests for the NoGreedy baseline (per-view recompute vs incremental choice)."""
+
+import pytest
+
+from repro.maintenance.cost_engine import MaintenanceCostEngine
+from repro.maintenance.diff_dag import ResultKey
+from repro.maintenance.plan_selection import select_maintenance_plan
+from repro.maintenance.update_spec import UpdateSpec
+from repro.optimizer.dag_builder import build_dag
+from repro.workloads import queries, tpcd
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpcd.tpcd_catalog(scale_factor=0.1)
+
+
+def build_plan(catalog, views, percentage):
+    from repro.algebra.expressions import base_relations
+
+    dag = build_dag(views, catalog)
+    relations = sorted({r for e in views.values() for r in base_relations(e)})
+    engine = MaintenanceCostEngine(dag, catalog, UpdateSpec.uniform(percentage, relations))
+    engine.set_materialized(ResultKey(dag.roots[name].id, 0) for name in views)
+    return select_maintenance_plan(engine, {name: dag.roots[name].id for name in views})
+
+
+def test_decision_per_view(catalog):
+    plan = build_plan(catalog, queries.view_set_plain(), 0.05)
+    assert len(plan.decisions) == 5
+    names = {d.view for d in plan.decisions}
+    assert names == set(queries.view_set_plain())
+
+
+def test_strategy_picks_cheaper_side(catalog):
+    plan = build_plan(catalog, queries.standalone_agg_view(), 0.01)
+    decision = plan.decision_for("v_revenue_by_nation")
+    assert decision.strategy == "incremental"
+    assert decision.cost == min(decision.recompute_cost, decision.incremental_cost)
+
+
+def test_high_update_rate_prefers_recompute(catalog):
+    plan = build_plan(catalog, queries.standalone_join_view(), 0.8)
+    assert plan.decision_for("v_order_details").strategy == "recompute"
+
+
+def test_total_cost_positive_and_counts_consistent(catalog):
+    plan = build_plan(catalog, queries.view_set_plain(), 0.1)
+    assert plan.total_cost > 0
+    counts = plan.counts()
+    assert counts["recompute"] + counts["incremental"] == 5
+
+
+def test_unknown_view_raises(catalog):
+    plan = build_plan(catalog, queries.standalone_join_view(), 0.1)
+    with pytest.raises(KeyError):
+        plan.decision_for("nope")

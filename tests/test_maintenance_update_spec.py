@@ -1,0 +1,74 @@
+"""Tests for update specifications and the paper's update numbering."""
+
+import pytest
+
+from repro.maintenance.update_spec import RelationUpdate, UpdateSpec
+from repro.storage.delta import DeltaKind
+from repro.workloads import tpcd
+
+
+def test_uniform_spec_has_two_to_one_insert_delete_ratio():
+    spec = UpdateSpec.uniform(0.10, ["orders", "lineitem"])
+    update = spec.for_relation("orders")
+    assert update.insert_fraction == pytest.approx(0.10)
+    assert update.delete_fraction == pytest.approx(0.05)
+
+
+def test_uniform_spec_custom_ratio():
+    spec = UpdateSpec.uniform(0.10, ["orders"], insert_to_delete_ratio=1.0)
+    assert spec.for_relation("orders").delete_fraction == pytest.approx(0.10)
+
+
+def test_uniform_spec_without_relations_applies_everywhere():
+    spec = UpdateSpec.uniform(0.20)
+    assert spec.for_relation("anything").insert_fraction == pytest.approx(0.20)
+    restricted = spec.restricted_to(["orders"])
+    assert restricted.updated_relations() == ["orders"]
+
+
+def test_negative_percentage_rejected():
+    with pytest.raises(ValueError):
+        UpdateSpec.uniform(-0.1)
+
+
+def test_none_spec_has_no_updates():
+    spec = UpdateSpec.none(["orders"])
+    assert spec.updated_relations() == []
+    assert spec.update_ids(["orders"]) == []
+
+
+def test_update_ids_follow_paper_numbering():
+    spec = UpdateSpec.uniform(0.10, ["A", "B"])
+    ids = spec.update_ids()
+    assert [(u.number, u.relation, u.kind) for u in ids] == [
+        (1, "A", DeltaKind.INSERT),
+        (2, "A", DeltaKind.DELETE),
+        (3, "B", DeltaKind.INSERT),
+        (4, "B", DeltaKind.DELETE),
+    ]
+
+
+def test_update_ids_skip_empty_kinds():
+    spec = UpdateSpec({"A": RelationUpdate(insert_fraction=0.1, delete_fraction=0.0)}, ["A"])
+    assert [str(u) for u in spec.update_ids()] == ["δ+A"]
+    assert len(spec.update_ids(only_nonempty=False)) == 2
+
+
+def test_delta_stats_scale_with_catalog():
+    catalog = tpcd.tpcd_catalog(scale_factor=0.1)
+    spec = UpdateSpec.uniform(0.10, ["orders"])
+    stats = spec.delta_stats(catalog, "orders", DeltaKind.INSERT)
+    assert stats.cardinality == pytest.approx(catalog.stats("orders").cardinality * 0.10)
+    deletes = spec.delta_cardinality(catalog, "orders", DeltaKind.DELETE)
+    assert deletes == pytest.approx(catalog.stats("orders").cardinality * 0.05)
+
+
+def test_describe_lists_updated_relations():
+    spec = UpdateSpec.uniform(0.10, ["orders"])
+    assert "orders" in spec.describe()
+    assert UpdateSpec.none(["orders"]).describe() == "no updates"
+
+
+def test_restricted_to_preserves_order():
+    spec = UpdateSpec.uniform(0.10, ["a", "b", "c"])
+    assert spec.restricted_to(["c", "a"]).relation_order == ["c", "a"]

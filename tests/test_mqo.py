@@ -1,0 +1,100 @@
+"""Tests for multi-query optimization (sharing detection + RSSB00 greedy)."""
+
+import pytest
+
+from repro.mqo.greedy import MultiQueryOptimizer
+from repro.mqo.sharing import nodes_per_query, sharable_candidates, shared_nodes, sharing_report
+from repro.optimizer.dag_builder import build_dag
+from repro.workloads import queries, tpcd
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpcd.tpcd_catalog(scale_factor=0.1)
+
+
+@pytest.fixture(scope="module")
+def two_query_dag(catalog):
+    return build_dag(
+        {
+            "Q1": queries.chain_join(["lineitem", "orders", "customer"]),
+            "Q2": queries.chain_join(["lineitem", "orders", "customer", "nation"]),
+        },
+        catalog,
+    )
+
+
+def test_nodes_per_query_covers_roots(two_query_dag):
+    per_query = nodes_per_query(two_query_dag)
+    assert set(per_query) == {"Q1", "Q2"}
+    assert two_query_dag.roots["Q1"].id in per_query["Q1"]
+    # Q1's root is a sub-expression of Q2, hence also reachable from Q2.
+    assert two_query_dag.roots["Q1"].id in per_query["Q2"]
+
+
+def test_shared_nodes_exclude_base_relations(two_query_dag):
+    shared = shared_nodes(two_query_dag)
+    assert shared, "the two queries share join sub-expressions"
+    assert all(not node.is_base_relation for node in shared)
+
+
+def test_sharable_candidates_exclude_roots(two_query_dag):
+    roots = {node.id for node in two_query_dag.roots.values()}
+    # Q1's root is shared with Q2 but is itself a root, so it is excluded.
+    candidates = {node.id for node in sharable_candidates(two_query_dag)}
+    assert two_query_dag.roots["Q2"].id not in candidates
+    assert candidates, "non-root shared candidates must remain"
+
+
+def test_sharing_report_names_queries(two_query_dag):
+    report = sharing_report(two_query_dag)
+    assert any(set(queries_) == {"Q1", "Q2"} for queries_ in report.values())
+
+
+def test_example_3_1_finds_global_sharing(catalog):
+    """Example 3.1: the globally optimal plans share R ⋈ S across the queries."""
+    optimizer = MultiQueryOptimizer(catalog)
+    result = optimizer.optimize(queries.example_3_1_queries())
+    assert result.optimized_cost <= result.unshared_cost + 1e-9
+    assert result.query_costs and set(result.query_costs) == {"Q1", "Q2"}
+    assert result.plans["Q1"].count_nodes() >= 3
+
+
+def test_mqo_never_hurts_on_unrelated_queries(catalog):
+    optimizer = MultiQueryOptimizer(catalog)
+    result = optimizer.optimize(
+        {
+            "Qa": queries.chain_join(["supplier", "nation", "region"]),
+            "Qb": queries.chain_join(["orders", "customer"]),
+        }
+    )
+    assert result.optimized_cost <= result.unshared_cost + 1e-9
+
+
+def test_monotonicity_and_basic_loops_agree(catalog):
+    workload = {
+        "Q1": queries.chain_join(["lineitem", "orders", "customer"]),
+        "Q2": queries.chain_join(["lineitem", "orders", "customer", "nation"]),
+        "Q3": queries.chain_join(["orders", "customer", "nation"]),
+    }
+    lazy = MultiQueryOptimizer(catalog, use_monotonicity=True).optimize(workload)
+    eager = MultiQueryOptimizer(catalog, use_monotonicity=False).optimize(workload)
+    # The monotonicity optimization is a heuristic but on this workload both
+    # loops should find configurations of very similar quality.
+    assert lazy.optimized_cost == pytest.approx(eager.optimized_cost, rel=0.05)
+
+
+def test_disabling_sharability_pruning_does_not_worsen_result(catalog):
+    workload = {
+        "Q1": queries.chain_join(["lineitem", "orders", "customer"]),
+        "Q2": queries.chain_join(["lineitem", "orders", "customer", "nation"]),
+    }
+    pruned = MultiQueryOptimizer(catalog, apply_sharability_pruning=True).optimize(workload)
+    unpruned = MultiQueryOptimizer(catalog, apply_sharability_pruning=False).optimize(workload)
+    assert unpruned.optimized_cost <= pruned.optimized_cost * 1.001
+
+
+def test_improvement_ratio_property(catalog):
+    optimizer = MultiQueryOptimizer(catalog)
+    result = optimizer.optimize(queries.example_3_1_queries())
+    assert 0.0 <= result.improvement_ratio < 1.0

@@ -1,0 +1,110 @@
+"""Unit tests for the AND-OR DAG data structure."""
+
+import pytest
+
+from repro.algebra.expressions import BaseRelation, Join
+from repro.catalog.schema import Schema
+from repro.catalog.statistics import TableStats
+from repro.optimizer.dag import Dag, Operator, OperatorKind
+
+
+def _add_base(dag, name, cardinality=10.0):
+    node = dag.get_or_create_equivalence(
+        name, BaseRelation(name), Schema.from_names([f"{name}_id"]), TableStats(cardinality, 8),
+        frozenset({name}), is_base_relation=True,
+    )
+    dag.add_operation(node, Operator(OperatorKind.SCAN, relation=name), [])
+    return node
+
+
+def _add_join(dag, key, left, right):
+    expr = Join(left.expression, right.expression, [])
+    node = dag.get_or_create_equivalence(
+        key, expr, left.schema.concat(right.schema), TableStats(left.stats.cardinality, 16),
+        left.base_relations | right.base_relations,
+    )
+    dag.add_operation(node, Operator(OperatorKind.JOIN), [left, right])
+    return node
+
+
+def test_get_or_create_unifies_by_key():
+    dag = Dag()
+    a1 = _add_base(dag, "A")
+    a2 = dag.get_or_create_equivalence(
+        "A", BaseRelation("A"), Schema.from_names(["A_id"]), TableStats(10.0, 8), frozenset({"A"})
+    )
+    assert a1 is a2
+    assert len(dag) == 1
+
+
+def test_add_operation_deduplicates_identical_ops():
+    dag = Dag()
+    a = _add_base(dag, "A")
+    b = _add_base(dag, "B")
+    ab = _add_join(dag, "AB", a, b)
+    duplicate = dag.add_operation(ab, Operator(OperatorKind.JOIN), [a, b])
+    assert duplicate is None
+    assert len(ab.children) == 1
+
+
+def test_parent_links_maintained():
+    dag = Dag()
+    a = _add_base(dag, "A")
+    b = _add_base(dag, "B")
+    ab = _add_join(dag, "AB", a, b)
+    assert any(op.parent is ab for op in a.parents)
+    assert any(op.parent is ab for op in b.parents)
+
+
+def test_mark_root_and_roots():
+    dag = Dag()
+    a = _add_base(dag, "A")
+    dag.mark_root("Q", a)
+    assert dag.roots["Q"] is a
+    assert a.view_name == "Q"
+
+
+def test_ancestors_of():
+    dag = Dag()
+    a = _add_base(dag, "A")
+    b = _add_base(dag, "B")
+    c = _add_base(dag, "C")
+    ab = _add_join(dag, "AB", a, b)
+    abc = _add_join(dag, "ABC", ab, c)
+    assert dag.ancestors_of(a) == {ab.id, abc.id}
+    assert dag.ancestors_of(abc) == set()
+
+
+def test_topological_order_children_first():
+    dag = Dag()
+    a = _add_base(dag, "A")
+    b = _add_base(dag, "B")
+    ab = _add_join(dag, "AB", a, b)
+    order = [node.id for node in dag.topological_order()]
+    assert order.index(a.id) < order.index(ab.id)
+    assert order.index(b.id) < order.index(ab.id)
+
+
+def test_depends_on_and_describe():
+    dag = Dag()
+    a = _add_base(dag, "A")
+    b = _add_base(dag, "B")
+    ab = _add_join(dag, "AB", a, b)
+    assert ab.depends_on("A") and ab.depends_on("B")
+    assert not ab.depends_on("C")
+    assert "AB" in ab.describe()
+    assert "⋈" in dag.describe() or "join" in dag.describe().lower()
+
+
+def test_node_lookup_by_id_and_key():
+    dag = Dag()
+    a = _add_base(dag, "A")
+    assert dag.node(a.id) is a
+    assert dag.by_key("A") is a
+    assert dag.by_key("missing") is None
+
+
+def test_operator_describe_variants():
+    assert Operator(OperatorKind.SCAN, relation="r").describe() == "scan(r)"
+    assert "π" in Operator(OperatorKind.PROJECT, columns=("a",)).describe()
+    assert "⨯" in Operator(OperatorKind.JOIN).describe()

@@ -1,0 +1,150 @@
+"""Tests for DAG construction, expansion, unification and subsumption."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    Aggregate,
+    AggregateFunc,
+    AggregateSpec,
+    BaseRelation,
+    Join,
+    Select,
+)
+from repro.algebra.predicates import lt
+from repro.optimizer.dag import OperatorKind
+from repro.optimizer.dag_builder import DagBuilder, build_dag
+from repro.workloads import queries, tpcd
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpcd.tpcd_catalog(scale_factor=0.01)
+
+
+def three_way_join():
+    return queries.chain_join(["lineitem", "orders", "customer"])
+
+
+def test_expanded_dag_has_node_per_connected_subset(catalog):
+    dag = build_dag({"Q": three_way_join()}, catalog)
+    join_nodes = [n for n in dag.equivalence_nodes if not n.is_base_relation]
+    # Connected subsets of {L, O, C}: {L,O}, {O,C}, {L,O,C} → 3 nodes
+    # ({L,C} is not connected through any join condition).
+    assert len(join_nodes) == 3
+    sizes = sorted(len(n.base_relations) for n in join_nodes)
+    assert sizes == [2, 2, 3]
+
+
+def test_top_node_has_alternative_partitions(catalog):
+    dag = build_dag({"Q": three_way_join()}, catalog)
+    root = dag.roots["Q"]
+    # (L⋈O)⋈C and L⋈(O⋈C) — both association orders present.
+    assert len(root.children) == 2
+    for op in root.children:
+        assert op.operator.kind is OperatorKind.JOIN
+
+
+def test_unification_across_queries(catalog):
+    q1 = three_way_join()
+    q2 = queries.chain_join(["lineitem", "orders", "customer", "nation"])
+    dag = build_dag({"Q1": q1, "Q2": q2}, catalog)
+    # The {lineitem, orders, customer} result is shared: exactly one node for it.
+    matching = [
+        n
+        for n in dag.equivalence_nodes
+        if n.base_relations == frozenset({"lineitem", "orders", "customer"})
+    ]
+    assert len(matching) == 1
+    # It is the root of Q1 *and* reachable from Q2's root.
+    assert dag.roots["Q1"] is matching[0]
+
+
+def test_syntactically_different_join_orders_unify(catalog):
+    lo_c = Join(
+        Join(BaseRelation("lineitem"), BaseRelation("orders"), [("l_orderkey", "o_orderkey")]),
+        BaseRelation("customer"),
+        [("o_custkey", "c_custkey")],
+    )
+    o_cl = Join(
+        BaseRelation("lineitem"),
+        Join(BaseRelation("orders"), BaseRelation("customer"), [("o_custkey", "c_custkey")]),
+        [("l_orderkey", "o_orderkey")],
+    )
+    dag = build_dag({"Q1": lo_c, "Q2": o_cl}, catalog)
+    assert dag.roots["Q1"] is dag.roots["Q2"]
+
+
+def test_selections_pushed_and_represented(catalog):
+    expression = Select(three_way_join(), lt("o_totalprice", 1000.0))
+    dag = build_dag({"Q": expression}, catalog)
+    select_ops = [
+        op for op in dag.operation_nodes if op.operator.kind is OperatorKind.SELECT
+    ]
+    assert select_ops, "selection must appear in the DAG"
+    # The selection was pushed onto the orders base relation.
+    assert any(op.inputs[0].is_base_relation for op in select_ops)
+
+
+def test_aggregate_on_top_of_join_block(catalog):
+    view = queries.standalone_agg_view()["v_revenue_by_nation"]
+    dag = build_dag({"V": view}, catalog)
+    agg_ops = [op for op in dag.operation_nodes if op.operator.kind is OperatorKind.AGGREGATE]
+    assert len(agg_ops) >= 1
+    assert dag.roots["V"].children[0].operator.kind is OperatorKind.AGGREGATE
+
+
+def test_selection_subsumption_derivation(catalog):
+    views = queries.selection_variant_views()
+    dag = build_dag(views, catalog)
+    # After push-down the selections sit on the orders base relation; the
+    # more selective one (σ_{<10000}) gains a derivation that reads the less
+    # selective one (σ_{<100000}) instead of the base relation.
+    selects = [
+        n
+        for n in dag.equivalence_nodes
+        if n.key.startswith("select[") and "o_totalprice" in n.key
+    ]
+    assert len(selects) == 2
+    small = next(n for n in selects if "10000.0" in n.key and "100000.0" not in n.key)
+    big = next(n for n in selects if "100000.0" in n.key)
+    derivations = [
+        op
+        for op in small.children
+        if op.operator.kind is OperatorKind.SELECT and op.inputs[0] is big
+    ]
+    assert derivations, "expected a subsumption derivation between the selection variants"
+
+
+def test_groupby_subsumption_introduces_union_grouping(catalog):
+    join = queries.chain_join(["lineitem", "orders"])
+    specs = [AggregateSpec(AggregateFunc.SUM, "l_extendedprice", "rev")]
+    by_date = Aggregate(join, ["o_orderdate"], specs)
+    by_priority = Aggregate(join, ["o_orderpriority"], specs)
+    dag = build_dag({"V1": by_date, "V2": by_priority}, catalog)
+    union_groupings = [
+        n
+        for n in dag.equivalence_nodes
+        if "aggregate[o_orderdate,o_orderpriority" in n.key
+    ]
+    assert union_groupings, "expected the union group-by node to be introduced"
+    # Both original views can be derived from it.
+    union_node = union_groupings[0]
+    consumers = {op.parent.id for op in union_node.parents}
+    assert dag.roots["V1"].id in consumers and dag.roots["V2"].id in consumers
+
+
+def test_expand_joins_disabled_uses_literal_tree(catalog):
+    builder = DagBuilder(catalog, expand_joins=False)
+    builder.add_query("Q", three_way_join())
+    dag = builder.finish()
+    root = dag.roots["Q"]
+    assert len(root.children) == 1  # only the written association order
+
+
+def test_cross_product_block_still_buildable(catalog):
+    # Two relations with no join condition: top node must still exist.
+    expression = Join(BaseRelation("nation"), BaseRelation("region"), [])
+    dag = build_dag({"Q": expression}, catalog)
+    root = dag.roots["Q"]
+    assert root.base_relations == frozenset({"nation", "region"})
+    assert root.children

@@ -1,0 +1,111 @@
+"""Tests for the Volcano best-plan search over the DAG."""
+
+import pytest
+
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.dag_builder import build_dag
+from repro.optimizer.volcano import VolcanoSearch
+from repro.workloads import queries, tpcd
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpcd.tpcd_catalog(scale_factor=0.01)
+
+
+@pytest.fixture(scope="module")
+def dag(catalog):
+    return build_dag(
+        {
+            "Q1": queries.chain_join(["lineitem", "orders", "customer"]),
+            "Q2": queries.chain_join(["orders", "customer", "nation"]),
+        },
+        catalog,
+    )
+
+
+def test_best_plan_cost_positive_and_cached(dag, catalog):
+    search = VolcanoSearch(dag, catalog, CostModel())
+    result = search.optimize()
+    for root in dag.roots.values():
+        assert result.compcost(root.id) > 0
+    # Base relations cost exactly their scan cost.
+    base = next(n for n in dag.equivalence_nodes if n.is_base_relation)
+    assert result.compcost(base.id) == pytest.approx(
+        search.cost_model.scan_cost(catalog.stats(base.expression.canonical()))
+    )
+
+
+def test_best_plan_not_worse_than_any_single_alternative(dag, catalog):
+    search = VolcanoSearch(dag, catalog, CostModel())
+    result = search.optimize()
+    root = dag.roots["Q1"]
+    best = result.compcost(root.id)
+    for operation in root.children:
+        input_costs = [result.compcost(child.id) for child in operation.inputs]
+        alternative, _ = search.operation_total_cost(operation, frozenset(), input_costs)
+        assert best <= alternative + 1e-9
+
+
+def test_materializing_shared_node_reduces_consumer_cost(dag, catalog):
+    search = VolcanoSearch(dag, catalog, CostModel())
+    shared = next(
+        n
+        for n in dag.equivalence_nodes
+        if n.base_relations == frozenset({"orders", "customer"})
+    )
+    baseline = search.optimize()
+    with_mat = search.optimize(materialized={shared.id})
+    for root in dag.roots.values():
+        assert with_mat.compcost(root.id) <= baseline.compcost(root.id) + 1e-9
+    assert with_mat.cost_with_reuse(shared.id) <= baseline.compcost(shared.id)
+
+
+def test_plan_extraction_structure(dag, catalog):
+    search = VolcanoSearch(dag, catalog, CostModel())
+    result = search.optimize()
+    plan = result.extract_plan(dag.roots["Q1"].id)
+    assert plan.count_nodes() >= 5  # two joins + three scans
+    text = plan.pretty()
+    assert "scan(" in text and "⋈" in text
+
+
+def test_plan_extraction_marks_reused_results():
+    # At the paper's scale factor the orders⋈customer intermediate is large
+    # enough that re-reading its materialized copy beats recomputing it, so
+    # the extracted plan for the second query must reuse it.
+    big_catalog = tpcd.tpcd_catalog(scale_factor=0.1)
+    big_dag = build_dag(
+        {
+            "Q1": queries.chain_join(["lineitem", "orders", "customer"]),
+            "Q2": queries.chain_join(["lineitem", "orders", "customer", "nation"]),
+        },
+        big_catalog,
+    )
+    search = VolcanoSearch(big_dag, big_catalog, CostModel())
+    shared = big_dag.roots["Q1"]  # lineitem⋈orders⋈customer, shared with Q2
+    result = search.optimize(materialized={shared.id})
+    plan = result.extract_plan(big_dag.roots["Q2"].id)
+    reused_ids = {node.node_id for node in plan.reused_nodes()}
+    assert shared.id in reused_ids, "the materialized shared result should be reused in Q2's plan"
+
+
+def test_root_not_reused_when_extracting_its_own_plan(dag, catalog):
+    search = VolcanoSearch(dag, catalog, CostModel())
+    root = dag.roots["Q1"]
+    result = search.optimize(materialized={root.id})
+    plan = result.extract_plan(root.id)
+    assert not plan.reused
+    assert plan.children
+
+
+def test_extra_indexes_enable_cheaper_plans(catalog):
+    dag = build_dag({"Q": queries.chain_join(["lineitem", "orders", "customer"])}, catalog)
+    shared = next(
+        n for n in dag.equivalence_nodes if n.base_relations == frozenset({"orders", "customer"})
+    )
+    plain = VolcanoSearch(dag, catalog, CostModel())
+    with_index = VolcanoSearch(dag, catalog, CostModel(), extra_indexes={shared.id: [("o_orderkey",)]})
+    cost_plain = plain.optimize(materialized={shared.id}).compcost(dag.roots["Q"].id)
+    cost_indexed = with_index.optimize(materialized={shared.id}).compcost(dag.roots["Q"].id)
+    assert cost_indexed <= cost_plain

@@ -1,0 +1,120 @@
+"""Property-based tests of the differential-maintenance invariant.
+
+For randomly generated databases, update batches and view shapes, applying
+the computed differential to the old view must equal recomputing the view on
+the updated database (multiset equality).  This is the invariant every
+maintenance plan in the paper relies on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.expressions import (
+    Aggregate,
+    AggregateFunc,
+    AggregateSpec,
+    BaseRelation,
+    Join,
+    Project,
+    Select,
+)
+from repro.algebra.predicates import gt
+from repro.catalog.schema import Schema, TableDef
+from repro.engine.database import Database
+from repro.engine.differential import differentiate
+from repro.engine.executor import evaluate
+from repro.storage.delta import DeltaKind
+from repro.storage.relation import Relation
+
+FACT_SCHEMA = Schema.from_names(["f_id", "dim_id", "value"])
+DIM_SCHEMA = Schema.from_names(["d_id", "d_group"])
+
+fact_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=100),
+    ),
+    min_size=0,
+    max_size=25,
+)
+dim_rows = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=2)),
+    min_size=0,
+    max_size=8,
+)
+updated_relation = st.sampled_from(["fact", "dim"])
+update_kind = st.sampled_from([DeltaKind.INSERT, DeltaKind.DELETE])
+
+
+def make_database(facts, dims):
+    database = Database()
+    database.create_table(TableDef("fact", FACT_SCHEMA, ()), facts)
+    database.create_table(TableDef("dim", DIM_SCHEMA, ()), dims)
+    return database
+
+
+def view_expressions():
+    join = Join(BaseRelation("fact"), BaseRelation("dim"), [("dim_id", "d_id")])
+    return [
+        join,
+        Select(join, gt("value", 40)),
+        Project(join, ["d_group", "value"]),
+        Aggregate(
+            join,
+            ["d_group"],
+            [
+                AggregateSpec(AggregateFunc.SUM, "value", "total"),
+                AggregateSpec(AggregateFunc.COUNT, None, "n"),
+                AggregateSpec(AggregateFunc.MAX, "value", "peak"),
+            ],
+        ),
+        Aggregate(BaseRelation("fact"), [], [AggregateSpec(AggregateFunc.COUNT, None, "n")]),
+    ]
+
+
+def pick_delta(database, relation, kind, draw_rows):
+    schema = database.table(relation).schema
+    if kind is DeltaKind.DELETE:
+        existing = database.table(relation).rows
+        return Relation(schema, existing[: max(0, min(len(existing), len(draw_rows)))])
+    if relation == "fact":
+        rows = [(100 + i, r[1], r[2]) for i, r in enumerate(draw_rows)]
+    else:
+        rows = [(r[0], r[1] % 3) for r in draw_rows][:4]
+    return Relation(schema, [row[: len(schema)] for row in rows])
+
+
+@given(
+    facts=fact_rows,
+    dims=dim_rows,
+    extra=fact_rows,
+    relation=updated_relation,
+    kind=update_kind,
+    view_index=st.integers(min_value=0, max_value=4),
+)
+@settings(max_examples=120, deadline=None)
+def test_incremental_refresh_equals_recomputation(facts, dims, extra, relation, kind, view_index):
+    database = make_database(facts, dims)
+    expression = view_expressions()[view_index]
+    delta_rows = pick_delta(database, relation, kind, extra)
+
+    old_result = evaluate(expression, database)
+    change = differentiate(expression, database, relation, kind, delta_rows)
+
+    updated = database.copy()
+    updated.apply_update(relation, kind, delta_rows)
+    recomputed = evaluate(expression, updated)
+
+    incremental = old_result.apply_delta(inserts=change.inserts, deletes=change.deletes)
+    assert incremental.same_bag(recomputed)
+
+
+@given(facts=fact_rows, dims=dim_rows, relation=updated_relation)
+@settings(max_examples=60, deadline=None)
+def test_empty_update_produces_empty_differential(facts, dims, relation):
+    database = make_database(facts, dims)
+    expression = view_expressions()[0]
+    schema = database.table(relation).schema
+    change = differentiate(expression, database, relation, DeltaKind.INSERT, Relation(schema, []))
+    assert change.is_empty

@@ -1,0 +1,73 @@
+"""Property-based tests for the multiset relation algebra (hypothesis)."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.schema import Schema
+from repro.storage.relation import Relation
+
+SCHEMA = Schema.from_names(["k", "v"])
+
+rows = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=3)),
+    max_size=30,
+)
+
+
+def bag(rel: Relation) -> Counter:
+    return rel.counter()
+
+
+@given(rows, rows)
+@settings(max_examples=80, deadline=None)
+def test_union_counts_add(a, b):
+    left, right = Relation(SCHEMA, a), Relation(SCHEMA, b)
+    assert bag(left.union_all(right)) == Counter(a) + Counter(b)
+
+
+@given(rows, rows)
+@settings(max_examples=80, deadline=None)
+def test_difference_is_counted_subtraction(a, b):
+    left, right = Relation(SCHEMA, a), Relation(SCHEMA, b)
+    assert bag(left.difference(right)) == Counter(a) - Counter(b)
+
+
+@given(rows, rows)
+@settings(max_examples=80, deadline=None)
+def test_union_then_difference_restores_original(a, b):
+    left, right = Relation(SCHEMA, a), Relation(SCHEMA, b)
+    assert bag(left.union_all(right).difference(right)) == Counter(a)
+
+
+@given(rows, rows)
+@settings(max_examples=80, deadline=None)
+def test_apply_delta_equals_manual_composition(a, b):
+    base, delta = Relation(SCHEMA, a), Relation(SCHEMA, b)
+    combined = base.apply_delta(inserts=delta, deletes=delta)
+    assert bag(combined) == (Counter(a) - Counter(b)) + Counter(b)
+
+
+@given(rows)
+@settings(max_examples=80, deadline=None)
+def test_distinct_is_idempotent_and_support_preserving(a):
+    relation = Relation(SCHEMA, a)
+    distinct = relation.distinct()
+    assert set(distinct.rows) == set(a)
+    assert max(Counter(distinct.rows).values(), default=0) <= 1
+    assert distinct.distinct().same_bag(distinct)
+
+
+@given(rows)
+@settings(max_examples=80, deadline=None)
+def test_projection_preserves_cardinality(a):
+    relation = Relation(SCHEMA, a)
+    assert len(relation.project(["v"])) == len(relation)
+
+
+@given(rows)
+@settings(max_examples=80, deadline=None)
+def test_sort_is_a_permutation(a):
+    relation = Relation(SCHEMA, a)
+    assert relation.sorted_by(["k", "v"]).same_bag(relation)

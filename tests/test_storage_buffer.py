@@ -1,0 +1,30 @@
+"""Unit tests for the buffer-pool model."""
+
+from repro.storage.buffer import BufferPool
+
+
+def test_default_matches_paper_configuration():
+    pool = BufferPool()
+    assert pool.blocks == 8000
+    assert pool.block_size == 4096
+    assert pool.capacity_bytes == 8000 * 4096
+
+
+def test_blocks_for_rounds_up():
+    pool = BufferPool(blocks=10, block_size=100)
+    assert pool.blocks_for(0) == 0.0
+    assert pool.blocks_for(1) == 1
+    assert pool.blocks_for(250) == 3
+
+
+def test_fits():
+    pool = BufferPool(blocks=10, block_size=100)
+    assert pool.fits(1000)
+    assert not pool.fits(1001)
+
+
+def test_partitions_needed_grows_with_input():
+    pool = BufferPool(blocks=10, block_size=100)
+    assert pool.partitions_needed(500) == 1
+    assert pool.partitions_needed(5000) == 2
+    assert pool.partitions_needed(0) == 1

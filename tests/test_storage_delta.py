@@ -1,0 +1,85 @@
+"""Unit tests for delta relations and update numbering."""
+
+import pytest
+
+from repro.catalog.schema import Schema
+from repro.storage.delta import Delta, DeltaKind, DeltaStore, UpdateId, update_numbering
+from repro.storage.relation import Relation
+
+SCHEMA = Schema.from_names(["k", "v"])
+
+
+def _delta(name, inserts, deletes):
+    return Delta(name, Relation(SCHEMA, inserts), Relation(SCHEMA, deletes))
+
+
+def test_delta_kind_symbols():
+    assert DeltaKind.INSERT.symbol == "δ+"
+    assert DeltaKind.DELETE.symbol == "δ-"
+
+
+def test_delta_is_empty_and_part():
+    delta = _delta("r", [(1, 1)], [])
+    assert not delta.is_empty
+    assert len(delta.part(DeltaKind.INSERT)) == 1
+    assert len(delta.part(DeltaKind.DELETE)) == 0
+    assert _delta("r", [], []).is_empty
+
+
+def test_update_numbering_follows_paper_convention():
+    ids = update_numbering(["A", "B"])
+    assert [(u.number, u.relation, u.kind) for u in ids] == [
+        (1, "A", DeltaKind.INSERT),
+        (2, "A", DeltaKind.DELETE),
+        (3, "B", DeltaKind.INSERT),
+        (4, "B", DeltaKind.DELETE),
+    ]
+
+
+def test_update_id_str():
+    assert str(UpdateId(1, "orders", DeltaKind.INSERT)) == "δ+orders"
+
+
+def test_store_rejects_unknown_relation():
+    store = DeltaStore(["A"])
+    with pytest.raises(KeyError):
+        store.set_delta(_delta("B", [], []))
+
+
+def test_store_lookup_and_has_updates():
+    store = DeltaStore(["A", "B"])
+    store.set_delta(_delta("A", [(1, 1)], []))
+    assert store.has_updates("A")
+    assert store.has_updates("A", DeltaKind.INSERT)
+    assert not store.has_updates("A", DeltaKind.DELETE)
+    assert not store.has_updates("B")
+    assert len(store.relation_delta("A", DeltaKind.INSERT)) == 1
+
+
+def test_store_relation_delta_missing_raises():
+    store = DeltaStore(["A"])
+    with pytest.raises(KeyError):
+        store.relation_delta("A", DeltaKind.INSERT)
+
+
+def test_update_ids_only_nonempty_filters():
+    store = DeltaStore(["A", "B"])
+    store.set_delta(_delta("A", [(1, 1)], []))
+    store.set_delta(_delta("B", [], [(2, 2)]))
+    ids = store.update_ids(only_nonempty=True)
+    assert [str(u) for u in ids] == ["δ+A", "δ-B"]
+    assert [u.number for u in ids] == [1, 4]
+
+
+def test_update_id_for_relation_and_kind():
+    store = DeltaStore(["A", "B"])
+    update = store.update_id("B", DeltaKind.DELETE)
+    assert update.number == 4
+
+
+def test_iteration_in_relation_order():
+    store = DeltaStore(["A", "B"])
+    store.set_delta(_delta("B", [(1, 1)], []))
+    store.set_delta(_delta("A", [(2, 2)], []))
+    assert [d.relation for d in store] == ["A", "B"]
+    assert len(store) == 2

@@ -1,0 +1,67 @@
+"""Unit tests for hash and sorted indexes."""
+
+import pytest
+
+from repro.catalog.schema import Schema
+from repro.storage.index import HashIndex, SortedIndex, build_index
+from repro.storage.relation import Relation
+
+SCHEMA = Schema.from_names(["k", "g", "v"])
+ROWS = [(1, "a", 10), (2, "a", 20), (3, "b", 30), (2, "b", 40)]
+
+
+@pytest.fixture
+def relation():
+    return Relation(SCHEMA, ROWS)
+
+
+def test_hash_index_lookup(relation):
+    index = HashIndex(relation, ["k"])
+    assert sorted(index.lookup((2,))) == [(2, "a", 20), (2, "b", 40)]
+    assert index.lookup((99,)) == []
+
+
+def test_hash_index_contains_and_len(relation):
+    index = HashIndex(relation, ["k"])
+    assert (1,) in index
+    assert (99,) not in index
+    assert len(index) == 4
+    assert index.distinct_keys == 3
+
+
+def test_hash_index_positions(relation):
+    index = HashIndex(relation, ["g"])
+    assert index.lookup_positions(("a",)) == [0, 1]
+
+
+def test_sorted_index_equality_lookup(relation):
+    index = SortedIndex(relation, ["k"])
+    assert sorted(index.lookup((2,))) == [(2, "a", 20), (2, "b", 40)]
+    assert index.lookup((99,)) == []
+
+
+def test_sorted_index_range_queries(relation):
+    index = SortedIndex(relation, ["k"])
+    assert sorted(index.range(low=(2,), high=(3,))) == [(2, "a", 20), (2, "b", 40), (3, "b", 30)]
+    assert sorted(index.range(low=(2,), include_low=False)) == [(3, "b", 30)]
+    assert sorted(index.range(high=(1,))) == [(1, "a", 10)]
+
+
+def test_sorted_index_scan_order(relation):
+    index = SortedIndex(relation, ["k"])
+    keys = [row[0] for row in index.scan_sorted()]
+    assert keys == sorted(keys)
+    assert index.distinct_keys == 3
+    assert len(index) == 4
+
+
+def test_composite_key_index(relation):
+    index = HashIndex(relation, ["k", "g"])
+    assert index.lookup((2, "b")) == [(2, "b", 40)]
+
+
+def test_build_index_factory(relation):
+    assert isinstance(build_index(relation, ["k"], "hash"), HashIndex)
+    assert isinstance(build_index(relation, ["k"], "btree"), SortedIndex)
+    with pytest.raises(ValueError):
+        build_index(relation, ["k"], "bitmap")

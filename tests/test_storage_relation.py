@@ -1,0 +1,104 @@
+"""Unit tests for multiset relations."""
+
+import pytest
+
+from repro.catalog.schema import Schema
+from repro.storage.relation import Relation
+
+SCHEMA = Schema.from_names(["a", "b"])
+
+
+def make(rows):
+    return Relation(SCHEMA, rows)
+
+
+def test_arity_checked_on_construction():
+    with pytest.raises(ValueError):
+        Relation(SCHEMA, [(1,)])
+
+
+def test_arity_checked_on_add():
+    relation = make([])
+    with pytest.raises(ValueError):
+        relation.add((1, 2, 3))
+
+
+def test_from_dicts_uses_schema_order():
+    relation = Relation.from_dicts(SCHEMA, [{"b": 2, "a": 1}])
+    assert relation.rows == [(1, 2)]
+
+
+def test_union_all_keeps_duplicates():
+    left = make([(1, 1), (1, 1)])
+    right = make([(1, 1)])
+    assert len(left.union_all(right)) == 3
+
+
+def test_difference_removes_one_copy_per_match():
+    relation = make([(1, 1), (1, 1), (2, 2)])
+    result = relation.difference(make([(1, 1)]))
+    assert sorted(result.rows) == [(1, 1), (2, 2)]
+
+
+def test_difference_of_missing_tuple_is_noop():
+    relation = make([(1, 1)])
+    assert relation.difference(make([(9, 9)])).rows == [(1, 1)]
+
+
+def test_apply_delta_deletes_then_inserts():
+    relation = make([(1, 1), (2, 2)])
+    updated = relation.apply_delta(inserts=make([(3, 3)]), deletes=make([(1, 1)]))
+    assert sorted(updated.rows) == [(2, 2), (3, 3)]
+
+
+def test_distinct_preserves_first_occurrence_order():
+    relation = make([(2, 2), (1, 1), (2, 2)])
+    assert relation.distinct().rows == [(2, 2), (1, 1)]
+
+
+def test_project_keeps_duplicates():
+    relation = make([(1, 5), (2, 5)])
+    assert relation.project(["b"]).rows == [(5,), (5,)]
+
+
+def test_select_by_predicate_function():
+    relation = make([(1, 5), (2, 6)])
+    assert relation.select(lambda row: row[1] > 5).rows == [(2, 6)]
+
+
+def test_sorted_by():
+    relation = make([(2, 1), (1, 2)])
+    assert relation.sorted_by(["a"]).rows == [(1, 2), (2, 1)]
+
+
+def test_same_bag_ignores_order_but_counts_duplicates():
+    left = make([(1, 1), (2, 2), (1, 1)])
+    right = make([(2, 2), (1, 1), (1, 1)])
+    assert left.same_bag(right)
+    assert not left.same_bag(make([(1, 1), (2, 2)]))
+
+
+def test_incompatible_schemas_rejected():
+    other = Relation(Schema.from_names(["x", "y", "z"]), [(1, 2, 3)])
+    with pytest.raises(ValueError):
+        make([(1, 1)]).union_all(other)
+
+
+def test_copy_is_independent():
+    original = make([(1, 1)])
+    clone = original.copy()
+    clone.add((2, 2))
+    assert len(original) == 1
+
+
+def test_counter_and_to_dicts():
+    relation = make([(1, 2), (1, 2)])
+    assert relation.counter()[(1, 2)] == 2
+    assert relation.to_dicts() == [{"a": 1, "b": 2}, {"a": 1, "b": 2}]
+
+
+def test_empty_like_copies_schema():
+    relation = make([(1, 2)])
+    empty = Relation.empty_like(relation)
+    assert len(empty) == 0
+    assert empty.schema.names == relation.schema.names

@@ -1,0 +1,158 @@
+"""Tests for the TPC-D workload substrate (schema, data, updates, view sets)."""
+
+import pytest
+
+from repro.algebra.expressions import Aggregate, base_relations
+from repro.algebra.schema_derivation import derive_schema
+from repro.engine.executor import evaluate
+from repro.maintenance.update_spec import UpdateSpec
+from repro.workloads import datagen, queries, tpcd, updategen
+
+
+# ----------------------------------------------------------------------- tpcd
+
+def test_catalog_contains_all_eight_tables():
+    catalog = tpcd.tpcd_catalog(scale_factor=0.1)
+    assert {t.name for t in catalog.tables()} == set(tpcd.BASE_CARDINALITIES)
+
+
+def test_cardinalities_scale_except_fixed_tables():
+    assert tpcd.cardinality("orders", 0.1) == 150_000
+    assert tpcd.cardinality("lineitem", 0.1) == 600_000
+    assert tpcd.cardinality("nation", 0.1) == 25
+    assert tpcd.cardinality("region", 0.001) == 5
+
+
+def test_database_size_near_100mb_at_paper_scale():
+    size = tpcd.total_database_bytes(0.1)
+    assert 60e6 < size < 160e6
+
+
+def test_pk_indexes_optional():
+    with_idx = tpcd.tpcd_catalog(0.01, with_pk_indexes=True)
+    without_idx = tpcd.tpcd_catalog(0.01, with_pk_indexes=False)
+    assert with_idx.has_index_on("orders", ["o_orderkey"])
+    assert not without_idx.all_indexes()
+
+
+def test_foreign_keys_declared():
+    tables = tpcd.tpcd_tables()
+    fk_targets = {ref_table for (_, ref_table, _) in tables["lineitem"].foreign_keys}
+    assert {"orders", "part", "supplier"} <= fk_targets
+
+
+def test_column_stats_have_key_distincts():
+    catalog = tpcd.tpcd_catalog(0.1)
+    stats = catalog.stats("orders")
+    assert stats.distinct("o_orderkey") == pytest.approx(150_000)
+    assert stats.distinct("o_custkey") == pytest.approx(15_000)
+
+
+# -------------------------------------------------------------------- datagen
+
+def test_generator_is_deterministic():
+    rows_a = datagen.TpcdDataGenerator(scale_factor=0.0005, seed=5).generate_table("orders")
+    rows_b = datagen.TpcdDataGenerator(scale_factor=0.0005, seed=5).generate_table("orders")
+    assert rows_a == rows_b
+    rows_c = datagen.TpcdDataGenerator(scale_factor=0.0005, seed=6).generate_table("orders")
+    assert rows_a != rows_c
+
+
+def test_generated_data_is_referentially_consistent(tiny_tpcd_database):
+    database = tiny_tpcd_database
+    customers = {row[0] for row in database.table("customer")}
+    orders = database.table("orders")
+    assert all(row[1] in customers for row in orders)
+    order_keys = {row[0] for row in orders}
+    assert all(row[0] in order_keys for row in database.table("lineitem"))
+
+
+def test_generated_tables_match_schema(tiny_tpcd_database):
+    for name in ["orders", "lineitem", "customer"]:
+        relation = tiny_tpcd_database.table(name)
+        assert len(relation.schema) == len(tpcd.tpcd_tables()[name].schema)
+
+
+def test_populate_subset_of_tables():
+    database = datagen.small_database(scale_factor=0.0005, tables=["region", "nation"])
+    assert set(database.table_names()) == {"region", "nation"}
+
+
+# ------------------------------------------------------------------ updategen
+
+def test_update_generator_respects_fractions(tiny_tpcd_database):
+    database = tiny_tpcd_database.copy()
+    spec = UpdateSpec.uniform(0.2, ["orders"])
+    deltas = updategen.generate_deltas(database, spec, ["orders"], seed=1)
+    orders = database.table("orders")
+    delta = deltas.delta("orders")
+    assert len(delta.inserts) == pytest.approx(len(orders) * 0.2, abs=1)
+    assert len(delta.deletes) == pytest.approx(len(orders) * 0.1, abs=1)
+
+
+def test_update_generator_inserts_have_fresh_keys(tiny_tpcd_database):
+    database = tiny_tpcd_database.copy()
+    deltas = updategen.uniform_deltas(database, 0.3, ["customer"], seed=2)
+    existing = {row[0] for row in database.table("customer")}
+    new_keys = {row[0] for row in deltas.delta("customer").inserts}
+    assert not (existing & new_keys)
+
+
+def test_update_generator_deletes_existing_rows(tiny_tpcd_database):
+    database = tiny_tpcd_database.copy()
+    deltas = updategen.uniform_deltas(database, 0.3, ["customer"], seed=2)
+    existing = set(database.table("customer").rows)
+    assert all(row in existing for row in deltas.delta("customer").deletes)
+
+
+# -------------------------------------------------------------------- queries
+
+def test_standalone_views_touch_four_relations():
+    view = queries.standalone_join_view()["v_order_details"]
+    assert len(base_relations(view)) == 4
+    agg = queries.standalone_agg_view()["v_revenue_by_nation"]
+    assert isinstance(agg, Aggregate)
+
+
+def test_view_sets_have_expected_sizes_and_sharing():
+    plain = queries.view_set_plain()
+    aggregate = queries.view_set_aggregate()
+    large = queries.large_view_set()
+    assert len(plain) == 5 and len(aggregate) == 5 and len(large) == 10
+    # Figure 5's views are each joins of 3-4 relations.
+    assert all(3 <= len(base_relations(v)) <= 4 for v in large.values())
+    # The sets genuinely share sub-expressions (pairs with >= 2 common relations).
+    shared_pairs = [
+        (a, b)
+        for a in plain
+        for b in plain
+        if a < b and len(base_relations(plain[a]) & base_relations(plain[b])) >= 2
+    ]
+    assert shared_pairs
+
+
+def test_large_view_set_with_aggregates_variant():
+    views = queries.large_view_set(with_aggregates=True)
+    assert len(views) == 10
+    assert any(isinstance(v, Aggregate) for v in views.values())
+
+
+def test_chain_join_requires_connectable_relations():
+    with pytest.raises(KeyError):
+        queries.chain_join(["region", "lineitem"])
+    with pytest.raises(KeyError):
+        queries.join_condition("region", "lineitem")
+
+
+def test_views_have_derivable_schemas():
+    catalog = tpcd.tpcd_catalog(0.01)
+    for name, view in {**queries.view_set_plain(), **queries.view_set_aggregate()}.items():
+        schema = derive_schema(view, catalog)
+        assert len(schema) > 0, name
+
+
+def test_example_views_evaluable_on_generated_data(tiny_tpcd_database):
+    view = queries.standalone_agg_view()["v_revenue_by_nation"]
+    result = evaluate(view, tiny_tpcd_database)
+    assert len(result) >= 1
+    assert set(result.schema.names) == {"n_name", "revenue", "order_lines"}
