@@ -12,12 +12,11 @@ Three switches are ablated on the Figure 4(a) workload at 5% updates:
   only be worse (or equal).
 """
 
-from repro.bench.reporting import format_comparison
 from repro.maintenance.optimizer import ViewMaintenanceOptimizer
 from repro.maintenance.update_spec import UpdateSpec
 from repro.workloads import queries, tpcd
 
-from benchmarks.helpers import write_result
+from benchmarks.helpers import write_comparison
 
 
 def _run(include_indexes=True, use_monotonicity=True, expand_joins=True):
@@ -38,19 +37,17 @@ def test_ablation_monotonicity_optimization(benchmark):
         return _run(use_monotonicity=True), _run(use_monotonicity=False)
 
     lazy, eager = benchmark.pedantic(both, rounds=1, iterations=1)
-    write_result(
+    write_comparison(
         "ablation_monotonicity",
-        format_comparison(
-            "ablation: monotonicity optimization (fig4a workload, 5% updates)",
-            {
-                "lazy_total_cost": lazy.total_cost,
-                "eager_total_cost": eager.total_cost,
-                "lazy_benefit_evaluations": lazy.selection.benefit_evaluations,
-                "eager_benefit_evaluations": eager.selection.benefit_evaluations,
-                "lazy_seconds": lazy.optimization_seconds,
-                "eager_seconds": eager.optimization_seconds,
-            },
-        ),
+        "ablation: monotonicity optimization (fig4a workload, 5% updates)",
+        {
+            "lazy_total_cost": lazy.total_cost,
+            "eager_total_cost": eager.total_cost,
+            "lazy_benefit_evaluations": lazy.selection.benefit_evaluations,
+            "eager_benefit_evaluations": eager.selection.benefit_evaluations,
+            "lazy_seconds": lazy.optimization_seconds,
+            "eager_seconds": eager.optimization_seconds,
+        },
     )
     assert lazy.total_cost <= eager.total_cost * 1.05
     assert lazy.selection.benefit_evaluations <= eager.selection.benefit_evaluations
@@ -63,15 +60,13 @@ def test_ablation_index_selection(benchmark):
         return _run(include_indexes=True), _run(include_indexes=False)
 
     with_indexes, without_indexes = benchmark.pedantic(both, rounds=1, iterations=1)
-    write_result(
+    write_comparison(
         "ablation_indexes",
-        format_comparison(
-            "ablation: index selection (fig4a workload, 5% updates)",
-            {
-                "with_index_candidates": with_indexes.total_cost,
-                "without_index_candidates": without_indexes.total_cost,
-            },
-        ),
+        "ablation: index selection (fig4a workload, 5% updates)",
+        {
+            "with_index_candidates": with_indexes.total_cost,
+            "without_index_candidates": without_indexes.total_cost,
+        },
     )
     assert with_indexes.total_cost < without_indexes.total_cost
 
@@ -83,14 +78,12 @@ def test_ablation_join_expansion(benchmark):
         return _run(expand_joins=True), _run(expand_joins=False)
 
     expanded, literal = benchmark.pedantic(both, rounds=1, iterations=1)
-    write_result(
+    write_comparison(
         "ablation_expansion",
-        format_comparison(
-            "ablation: join-order expansion (fig4a workload, 5% updates)",
-            {
-                "expanded_dag_cost": expanded.total_cost,
-                "literal_plan_cost": literal.total_cost,
-            },
-        ),
+        "ablation: join-order expansion (fig4a workload, 5% updates)",
+        {
+            "expanded_dag_cost": expanded.total_cost,
+            "literal_plan_cost": literal.total_cost,
+        },
     )
     assert expanded.total_cost <= literal.total_cost * 1.001

@@ -7,9 +7,9 @@ moved further in favour of the Greedy algorithm.
 """
 
 from repro.bench.experiments import run_buffer_size_effect
-from repro.bench.reporting import format_series
+from repro.bench.reporting import format_series, series_payload
 
-from benchmarks.helpers import write_result
+from benchmarks.helpers import write_json_result, write_result
 
 
 def test_small_buffer_increases_costs_and_benefit_ratio(benchmark):
@@ -23,6 +23,13 @@ def test_small_buffer_increases_costs_and_benefit_ratio(benchmark):
     write_result(
         "bufsize",
         format_series(result.large_buffer) + "\n\n" + format_series(result.small_buffer),
+    )
+    write_json_result(
+        "bufsize",
+        {
+            "large_buffer": series_payload(result.large_buffer),
+            "small_buffer": series_payload(result.small_buffer),
+        },
     )
     large_ratio, small_ratio = result.ratio_at_lowest_update()
     # Costs go up with the smaller buffer, for both algorithms (paper's first

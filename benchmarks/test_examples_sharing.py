@@ -7,26 +7,22 @@ per-relation differentials.
 """
 
 from repro.bench.experiments import run_sharing_examples
-from repro.bench.reporting import format_comparison
-
-from benchmarks.helpers import write_result
+from benchmarks.helpers import write_comparison
 
 
 def test_sharing_examples(benchmark):
     """Both §3.3 examples produce cost reductions from sharing."""
     result = benchmark.pedantic(run_sharing_examples, rounds=1, iterations=1)
-    write_result(
+    write_comparison(
         "examples_sharing",
-        format_comparison(
-            "ex3.1/ex3.2: sharing illustrations",
-            {
-                "ex3_1_unshared_cost": result.example_3_1.unshared_cost,
-                "ex3_1_optimized_cost": result.example_3_1.optimized_cost,
-                "ex3_1_materialized": ", ".join(result.example_3_1.materialized_keys) or "(none)",
-                "ex3_2_no_greedy": result.example_3_2_no_greedy,
-                "ex3_2_greedy": result.example_3_2_greedy,
-            },
-        ),
+        "ex3.1/ex3.2: sharing illustrations",
+        {
+            "ex3_1_unshared_cost": result.example_3_1.unshared_cost,
+            "ex3_1_optimized_cost": result.example_3_1.optimized_cost,
+            "ex3_1_materialized": ", ".join(result.example_3_1.materialized_keys) or "(none)",
+            "ex3_2_no_greedy": result.example_3_2_no_greedy,
+            "ex3_2_greedy": result.example_3_2_greedy,
+        },
     )
     # Example 3.1: multi-query optimization must not hurt, and the shared
     # sub-expression should be found when it pays off.

@@ -6,14 +6,12 @@ but there are benefits even at relatively high update percentages."
 """
 
 from repro.bench.experiments import run_fig3a, run_fig3b
-from repro.bench.reporting import format_series
-
 from benchmarks.helpers import (
     BENCH_UPDATE_PERCENTAGES,
     assert_benefit_shrinks_with_updates,
     assert_costs_nondecreasing,
     assert_greedy_dominates,
-    write_result,
+    write_series,
 )
 
 
@@ -22,7 +20,7 @@ def test_fig3a_standalone_join_view(benchmark):
     series = benchmark.pedantic(
         run_fig3a, kwargs={"update_percentages": BENCH_UPDATE_PERCENTAGES}, rounds=1, iterations=1
     )
-    write_result("fig3a", format_series(series))
+    write_series("fig3a", series)
     assert_greedy_dominates(series)
     assert_costs_nondecreasing(series)
     # Greedy wins clearly at the 1% update point.
@@ -34,7 +32,7 @@ def test_fig3b_standalone_aggregate_view(benchmark):
     series = benchmark.pedantic(
         run_fig3b, kwargs={"update_percentages": BENCH_UPDATE_PERCENTAGES}, rounds=1, iterations=1
     )
-    write_result("fig3b", format_series(series))
+    write_series("fig3b", series)
     assert_greedy_dominates(series)
     assert_costs_nondecreasing(series)
     assert_benefit_shrinks_with_updates(series, minimum_low_ratio=1.5)

@@ -6,14 +6,12 @@ sharing across the views' maintenance expressions is what Greedy exploits.
 """
 
 from repro.bench.experiments import run_fig4a, run_fig4b
-from repro.bench.reporting import format_series
-
 from benchmarks.helpers import (
     BENCH_UPDATE_PERCENTAGES,
     assert_benefit_shrinks_with_updates,
     assert_costs_nondecreasing,
     assert_greedy_dominates,
-    write_result,
+    write_series,
 )
 
 
@@ -22,7 +20,7 @@ def test_fig4a_view_set_without_aggregation(benchmark):
     series = benchmark.pedantic(
         run_fig4a, kwargs={"update_percentages": BENCH_UPDATE_PERCENTAGES}, rounds=1, iterations=1
     )
-    write_result("fig4a", format_series(series))
+    write_series("fig4a", series)
     assert_greedy_dominates(series)
     assert_costs_nondecreasing(series)
     # Sharing across 5 views should produce a clearly better ratio than the
@@ -35,7 +33,7 @@ def test_fig4b_view_set_with_aggregation(benchmark):
     series = benchmark.pedantic(
         run_fig4b, kwargs={"update_percentages": BENCH_UPDATE_PERCENTAGES}, rounds=1, iterations=1
     )
-    write_result("fig4b", format_series(series))
+    write_series("fig4b", series)
     assert_greedy_dominates(series)
     assert_costs_nondecreasing(series)
     assert_benefit_shrinks_with_updates(series, minimum_low_ratio=3.0)

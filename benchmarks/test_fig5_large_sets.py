@@ -7,12 +7,10 @@ cost of the plans without the optimization rises.
 """
 
 from repro.bench.experiments import run_fig5a, run_fig5b
-from repro.bench.reporting import format_series
-
 from benchmarks.helpers import (
     assert_benefit_shrinks_with_updates,
     assert_greedy_dominates,
-    write_result,
+    write_series,
 )
 
 #: A smaller sweep: the 10-view workload is the most expensive to optimize.
@@ -24,7 +22,7 @@ def test_fig5a_with_predefined_indexes(benchmark):
     series = benchmark.pedantic(
         run_fig5a, kwargs={"update_percentages": FIG5_PERCENTAGES}, rounds=1, iterations=1
     )
-    write_result("fig5a", format_series(series))
+    write_series("fig5a", series)
     assert_greedy_dominates(series)
     assert_benefit_shrinks_with_updates(series, minimum_low_ratio=4.0)
 
@@ -34,7 +32,7 @@ def test_fig5b_without_predefined_indexes(benchmark):
     series = benchmark.pedantic(
         run_fig5b, kwargs={"update_percentages": FIG5_PERCENTAGES}, rounds=1, iterations=1
     )
-    write_result("fig5b", format_series(series))
+    write_series("fig5b", series)
     assert_greedy_dominates(series)
     assert_benefit_shrinks_with_updates(series, minimum_low_ratio=4.0)
     # Indexes must have been selected by Greedy in every swept configuration.

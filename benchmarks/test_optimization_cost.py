@@ -8,26 +8,22 @@ paper's number was measured on a 2001 UltraSparc against a larger DAG.
 """
 
 from repro.bench.experiments import run_optimization_cost
-from repro.bench.reporting import format_comparison
-
-from benchmarks.helpers import write_result
+from benchmarks.helpers import write_comparison
 
 
 def test_optimization_cost_vs_savings(benchmark):
     """Greedy's optimization time is far smaller than one refresh's savings."""
     result = benchmark.pedantic(run_optimization_cost, rounds=1, iterations=1)
-    write_result(
+    write_comparison(
         "optcost",
-        format_comparison(
-            "optcost: Greedy optimization time for the 10-view workload (10% updates)",
-            {
-                "views": result.view_count,
-                "optimization_seconds": result.optimization_seconds,
-                "no_greedy_plan_cost": result.no_greedy_cost,
-                "greedy_plan_cost": result.greedy_cost,
-                "plan_cost_savings": result.savings,
-            },
-        ),
+        "optcost: Greedy optimization time for the 10-view workload (10% updates)",
+        {
+            "views": result.view_count,
+            "optimization_seconds": result.optimization_seconds,
+            "no_greedy_plan_cost": result.no_greedy_cost,
+            "greedy_plan_cost": result.greedy_cost,
+            "plan_cost_savings": result.savings,
+        },
     )
     assert result.view_count == 10
     assert result.savings > 0, "Greedy should save plan cost on the 10-view workload"

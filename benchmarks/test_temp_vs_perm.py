@@ -13,9 +13,7 @@ clear majority prefers recomputation.
 """
 
 from repro.bench.experiments import run_temp_vs_perm
-from repro.bench.reporting import format_comparison
-
-from benchmarks.helpers import write_result
+from benchmarks.helpers import write_comparison
 
 
 def test_temp_vs_perm_flip_with_update_rate(benchmark):
@@ -26,19 +24,17 @@ def test_temp_vs_perm_flip_with_update_rate(benchmark):
         rounds=1,
         iterations=1,
     )
-    write_result(
+    write_comparison(
         "tempperm",
-        format_comparison(
-            "tempperm: materialized results classified by cheaper refresh strategy",
-            {
-                "overall_temporary(recompute)": result.overall.temporary,
-                "overall_permanent(maintain)": result.overall.permanent,
-                "low_update_temporary": result.low_update.temporary,
-                "low_update_permanent": result.low_update.permanent,
-                "high_update_temporary": result.high_update.temporary,
-                "high_update_permanent": result.high_update.permanent,
-            },
-        ),
+        "tempperm: materialized results classified by cheaper refresh strategy",
+        {
+            "overall_temporary(recompute)": result.overall.temporary,
+            "overall_permanent(maintain)": result.overall.permanent,
+            "low_update_temporary": result.low_update.temporary,
+            "low_update_permanent": result.low_update.permanent,
+            "high_update_temporary": result.high_update.temporary,
+            "high_update_permanent": result.high_update.permanent,
+        },
     )
     assert result.overall.total > 0
     # At 1-5% update rates incremental maintenance dominates (paper: 281:306).

@@ -290,6 +290,77 @@ def conjoin(parts: Sequence[Predicate]) -> Predicate:
     return And(parts)
 
 
+# ------------------------------------------------------------ compiled closures
+
+def compile_predicate(
+    predicate: Optional[Predicate], schema: Schema
+) -> Callable[[Tuple[Any, ...]], bool]:
+    """Compile a predicate into a fast row closure for ``schema``.
+
+    The interpreted path (:meth:`Predicate.evaluate`) resolves every column
+    reference through :meth:`Schema.index_of` on every row — a linear scan of
+    the schema per value read.  The compiled closure resolves positions once
+    and then touches rows only by integer index, which is what makes batch
+    selection and join-residual filtering in the physical engine cheap.
+
+    Semantics match :meth:`Predicate.evaluate` exactly, including the SQL-ish
+    rule that comparisons against ``None`` are false.
+    """
+    if predicate is None or isinstance(predicate, TruePredicate):
+        return lambda row: True
+    if isinstance(predicate, Comparison):
+        op_fn = _OPS[predicate.op]
+        left, right = predicate.left, predicate.right
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            pos = schema.index_of(left.name)
+            value = right.value
+            if value is None:
+                return lambda row: False
+            return lambda row: row[pos] is not None and op_fn(row[pos], value)
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            pos = schema.index_of(right.name)
+            value = left.value
+            if value is None:
+                return lambda row: False
+            return lambda row: row[pos] is not None and op_fn(value, row[pos])
+        if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+            lpos = schema.index_of(left.name)
+            rpos = schema.index_of(right.name)
+            return (
+                lambda row: row[lpos] is not None
+                and row[rpos] is not None
+                and op_fn(row[lpos], row[rpos])
+            )
+        if isinstance(left, Literal) and isinstance(right, Literal):
+            if left.value is None or right.value is None:
+                return lambda row: False
+            result = op_fn(left.value, right.value)
+            return lambda row: result
+    if isinstance(predicate, And):
+        compiled = [compile_predicate(part, schema) for part in predicate.parts]
+        if not compiled:
+            return lambda row: True
+        if len(compiled) == 1:
+            return compiled[0]
+        if len(compiled) == 2:
+            first, second = compiled
+            return lambda row: first(row) and second(row)
+        return lambda row: all(fn(row) for fn in compiled)
+    if isinstance(predicate, Or):
+        compiled = [compile_predicate(part, schema) for part in predicate.parts]
+        if not compiled:
+            return lambda row: False
+        if len(compiled) == 1:
+            return compiled[0]
+        return lambda row: any(fn(row) for fn in compiled)
+    if isinstance(predicate, Not):
+        inner = compile_predicate(predicate.inner, schema)
+        return lambda row: not inner(row)
+    # Exotic predicate shapes (e.g. comparisons over nested predicates) keep
+    # the interpreted semantics.
+    return lambda row: predicate.evaluate(row, schema)
+
+
 def range_subsumes(general: Comparison, specific: Comparison) -> bool:
     """Whether ``specific`` is implied by ``general`` on the same column.
 

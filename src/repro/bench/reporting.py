@@ -1,15 +1,19 @@
-"""Plain-text rendering of experiment results.
+"""Rendering of experiment results: text tables and machine-readable JSON.
 
 The paper reports its results as line plots; this reproduction records the
 same series as text tables (one row per update percentage) so they can be
-diffed, asserted on in benchmarks, and pasted into ``EXPERIMENTS.md``.
+diffed, asserted on in benchmarks, and pasted into ``EXPERIMENTS.md``.  Each
+result also serializes to a JSON payload (written as ``BENCH_<name>.json``
+under ``results/`` by the benchmark suite) so the performance trajectory can
+be tracked across changes by tooling instead of eyeballs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+import json
+from typing import Any, Dict, List, Mapping, Sequence
 
-from repro.bench.harness import FigureSeries
+from repro.bench.harness import FigurePoint, FigureSeries
 
 
 def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str]) -> str:
@@ -51,3 +55,91 @@ def format_comparison(label: str, values: Mapping[str, float]) -> str:
         else:
             lines.append(f"  {key}: {value}")
     return "\n".join(lines)
+
+
+# -------------------------------------------------------------- JSON payloads
+
+def series_payload(series: FigureSeries) -> Dict[str, Any]:
+    """A JSON-serializable payload for one figure sweep.
+
+    Records every :class:`FigurePoint` field (plan costs, selections,
+    optimization timings) so cross-change comparisons do not depend on the
+    text rendering.
+    """
+    return {
+        "experiment": series.experiment,
+        "description": series.description,
+        "points": [_point_payload(point) for point in series.points],
+        "max_benefit_ratio": series.max_ratio(),
+    }
+
+
+def _point_payload(point: FigurePoint) -> Dict[str, Any]:
+    return {
+        "update_percentage": point.update_percentage,
+        "no_greedy_cost": point.no_greedy_cost,
+        "greedy_cost": point.greedy_cost,
+        "benefit_ratio": point.benefit_ratio,
+        "greedy_selections": point.greedy_selections,
+        "greedy_indexes": point.greedy_indexes,
+        "greedy_permanent": point.greedy_permanent,
+        "greedy_temporary": point.greedy_temporary,
+        "optimization_seconds": point.optimization_seconds,
+    }
+
+
+def comparison_payload(label: str, values: Mapping[str, Any]) -> Dict[str, Any]:
+    """A JSON-serializable payload for a name→value summary block."""
+    return {"label": label, "values": dict(values)}
+
+
+def execution_payload(result) -> Dict[str, Any]:
+    """A JSON-serializable payload for a physical-vs-interpreter comparison.
+
+    Accepts an :class:`repro.bench.experiments.ExecutionComparisonResult`
+    (duck-typed, to keep this module free of experiment imports).
+    """
+    return {
+        "experiment": result.experiment,
+        "scale_factor": result.scale_factor,
+        "total_logical_seconds": result.total_logical_seconds,
+        "total_physical_seconds": result.total_physical_seconds,
+        "overall_speedup": result.overall_speedup,
+        # Physical timings are execution-only: planning is a one-time,
+        # cached cost, reported per point as planning_seconds.
+        "plan_cache_warmed": True,
+        "points": [
+            {
+                "view": p.view,
+                "rows": p.rows,
+                "plan_cost": p.plan_cost,
+                "logical_seconds": p.logical_seconds,
+                "physical_seconds": p.physical_seconds,
+                "planning_seconds": p.planning_seconds,
+                "speedup": p.speedup,
+            }
+            for p in result.points
+        ],
+    }
+
+
+def format_execution_comparison(result) -> str:
+    """Text table for a physical-vs-interpreter comparison."""
+    table = format_table(
+        result.as_rows(),
+        ["view", "rows", "plan_cost", "logical_ms", "physical_ms", "speedup"],
+    )
+    summary = (
+        f"total: logical={result.total_logical_seconds * 1000.0:.1f}ms "
+        f"physical={result.total_physical_seconds * 1000.0:.1f}ms "
+        f"speedup={result.overall_speedup:.2f}x"
+    )
+    return (
+        f"{result.experiment}: vectorized physical plans vs row-at-a-time "
+        f"interpreter (scale factor {result.scale_factor})\n{table}\n{summary}"
+    )
+
+
+def render_json(payload: Mapping[str, Any]) -> str:
+    """Stable JSON rendering for ``BENCH_*.json`` files."""
+    return json.dumps(payload, indent=2, sort_keys=True)

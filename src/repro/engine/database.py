@@ -44,11 +44,12 @@ class Database:
         return relation
 
     def load_table(self, name: str, relation: Relation) -> None:
-        """Replace the contents of an existing table."""
+        """Replace the contents of an existing table (indexes are rebuilt)."""
         if name not in self._tables and not self.catalog.has_table(name):
             raise DatabaseError(f"unknown table {name!r}")
         relation.name = name
         self._tables[name] = relation
+        self.rebuild_indexes(name)
         self.refresh_statistics(name)
 
     def table(self, name: str) -> Relation:
@@ -70,9 +71,14 @@ class Database:
     # ------------------------------------------------------------------- views
 
     def materialize_view(self, name: str, relation: Relation) -> None:
-        """Store (or replace) a materialized view's contents."""
+        """Store (or replace) a materialized view's contents.
+
+        Indexes built over a previous materialization of the same view are
+        rebuilt, so index probes never serve rows of replaced contents.
+        """
         relation.name = name
         self._views[name] = relation
+        self.rebuild_indexes(name)
 
     def view(self, name: str) -> Relation:
         """Fetch a materialized view's contents."""

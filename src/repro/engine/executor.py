@@ -11,7 +11,7 @@ sub-expressions get reused at execution time.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.algebra.expressions import (
     Aggregate,
@@ -46,6 +46,14 @@ class MaterializedRegistry:
     def unregister(self, expression: Expression) -> None:
         """Forget a registration (when a temporary result is discarded)."""
         self._by_canonical.pop(expression.canonical(), None)
+
+    def snapshot(self) -> Tuple[Tuple[str, str], ...]:
+        """The current (canonical, view-name) bindings, in a stable order.
+
+        Used by plan caches to detect that the set of reusable results
+        changed even when the set of stored view names did not.
+        """
+        return tuple(sorted(self._by_canonical.items()))
 
     def __len__(self) -> int:
         return len(self._by_canonical)

@@ -14,8 +14,16 @@ from collections import defaultdict
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.algebra.expressions import AggregateFunc, AggregateSpec
-from repro.algebra.predicates import Predicate, TruePredicate
-from repro.catalog.schema import Column, ColumnType, Schema
+from repro.algebra.predicates import (
+    _OPS as _COMPARISON_OPS,
+    Comparison,
+    ColumnRef,
+    Literal,
+    Predicate,
+    TruePredicate,
+    compile_predicate,
+)
+from repro.catalog.schema import Column, ColumnType, Schema, SchemaError
 from repro.storage.index import HashIndex, SortedIndex
 from repro.storage.relation import Relation, Row
 
@@ -28,6 +36,38 @@ def select(relation: Relation, predicate: Predicate) -> Relation:
     return Relation(schema, [r for r in relation if predicate.evaluate(r, schema)], relation.name)
 
 
+def select_batch(relation: Relation, predicate: Predicate) -> Relation:
+    """Batch σ_predicate over the columnar fast path.
+
+    Single column-vs-literal comparisons — the dominant selection shape in
+    the workloads — are evaluated directly against the column array; every
+    other predicate runs as one compiled closure over the row batch.  Output
+    bags are identical to :func:`select`.
+    """
+    schema = relation.schema
+    rows = relation.rows
+    if (
+        isinstance(predicate, Comparison)
+        and isinstance(predicate.left, ColumnRef)
+        and isinstance(predicate.right, Literal)
+        and predicate.right.value is not None
+    ):
+        # Inlined column-vs-literal comparison; must mirror the semantics of
+        # compile_predicate's ColumnRef/Literal branch (None never matches),
+        # which the physical-vs-logical property suite pins down.
+        op_fn = _COMPARISON_OPS[predicate.op]
+        value = predicate.right.value
+        column = relation.column_values(predicate.left.name)
+        kept = [
+            row
+            for v, row in zip(column, rows)
+            if v is not None and op_fn(v, value)
+        ]
+        return Relation.from_trusted_rows(schema, kept, relation.name)
+    fn = compile_predicate(predicate, schema)
+    return Relation.from_trusted_rows(schema, [r for r in rows if fn(r)], relation.name)
+
+
 def project(relation: Relation, columns: Sequence[str]) -> Relation:
     """π_columns — duplicate-preserving projection."""
     return relation.project(columns)
@@ -38,19 +78,41 @@ def project(relation: Relation, columns: Sequence[str]) -> Relation:
 def _join_positions(
     left: Schema, right: Schema, conditions: Sequence[Tuple[str, str]]
 ) -> Tuple[List[int], List[int]]:
-    """Resolve equi-join columns to positions, fixing swapped sides if needed."""
+    """Resolve equi-join columns to positions.
+
+    Each condition is tried in its written orientation first (first column on
+    the left input, second on the right); only if that fails is the swapped
+    orientation accepted (joins are commutative, so conditions may be written
+    relative to either operand order).  A condition that resolves in neither
+    orientation raises a :class:`SchemaError` naming both schemas, instead of
+    silently mis-binding columns that happen to exist on both sides.
+    """
     left_pos: List[int] = []
     right_pos: List[int] = []
     for a, b in conditions:
-        try:
-            left_pos.append(left.index_of(a))
-            right_pos.append(right.index_of(b))
-        except Exception:
-            # The condition may have been written with sides swapped relative
-            # to this operand order (joins are commutative).
-            left_pos.append(left.index_of(b))
-            right_pos.append(right.index_of(a))
+        as_written = (_position_of(left, a), _position_of(right, b))
+        if as_written[0] is not None and as_written[1] is not None:
+            left_pos.append(as_written[0])
+            right_pos.append(as_written[1])
+            continue
+        swapped = (_position_of(left, b), _position_of(right, a))
+        if swapped[0] is not None and swapped[1] is not None:
+            left_pos.append(swapped[0])
+            right_pos.append(swapped[1])
+            continue
+        raise SchemaError(
+            f"join condition {a!r}={b!r} cannot be resolved: neither orientation "
+            f"binds to left schema {left.names} and right schema {right.names}"
+        )
     return left_pos, right_pos
+
+
+def _position_of(schema: Schema, name: str) -> Optional[int]:
+    """Resolve ``name`` in ``schema``, returning None when missing/ambiguous."""
+    try:
+        return schema.index_of(name)
+    except SchemaError:
+        return None
 
 
 def _output(left: Relation, right: Relation) -> Schema:
@@ -62,7 +124,8 @@ def _residual_filter(
 ) -> List[Row]:
     if residual is None or isinstance(residual, TruePredicate):
         return rows
-    return [r for r in rows if residual.evaluate(r, schema)]
+    fn = compile_predicate(residual, schema)
+    return [r for r in rows if fn(r)]
 
 
 def nested_loop_join(
@@ -107,6 +170,76 @@ def hash_join(
     return Relation(schema, _residual_filter(out, schema, residual))
 
 
+def nested_loop_join_batch(
+    left: Relation,
+    right: Relation,
+    conditions: Sequence[Tuple[str, str]] = (),
+    residual: Optional[Predicate] = None,
+) -> Relation:
+    """Batch nested-loop join, bag-identical to :func:`nested_loop_join`.
+
+    With equi-join conditions the inner side is partitioned by key once, so
+    each outer tuple only visits inner tuples that can match — the classic
+    refinement of tuple nested-loops that avoids re-testing every pair.  For
+    pure cross products the pairing runs as one flat list comprehension.
+    """
+    if conditions:
+        return hash_join_batch(left, right, conditions, residual)
+    schema = _output(left, right)
+    out = [lrow + rrow for lrow in left.rows for rrow in right.rows]
+    return Relation.from_trusted_rows(schema, _residual_filter(out, schema, residual))
+
+
+def hash_join_batch(
+    left: Relation,
+    right: Relation,
+    conditions: Sequence[Tuple[str, str]] = (),
+    residual: Optional[Predicate] = None,
+) -> Relation:
+    """Vectorized hash join producing the same bag as :func:`hash_join`.
+
+    Build and probe run over column arrays: single-condition joins (the
+    common case for foreign-key joins) key the hash table on the raw column
+    value — no per-row key-tuple construction — and the probe emits matches
+    through one flat list comprehension.
+    """
+    if not conditions:
+        return nested_loop_join(left, right, conditions, residual)
+    schema = _output(left, right)
+    left_pos, right_pos = _join_positions(left.schema, right.schema, conditions)
+    lrows = left.rows
+    rrows = right.rows
+    buckets: Dict[Any, List[Row]] = {}
+    setdefault = buckets.setdefault
+    get = buckets.get
+    empty: Tuple[Row, ...] = ()
+    if len(left_pos) == 1:
+        li = left_pos[0]
+        ri = right_pos[0]
+        for rrow in rrows:
+            setdefault(rrow[ri], []).append(rrow)
+        out = [lrow + rrow for lrow in lrows for rrow in get(lrow[li], empty)]
+    else:
+        for rrow in rrows:
+            setdefault(tuple(rrow[i] for i in right_pos), []).append(rrow)
+        out = [
+            lrow + rrow
+            for lrow in lrows
+            for rrow in get(tuple(lrow[i] for i in left_pos), empty)
+        ]
+    return Relation.from_trusted_rows(schema, _residual_filter(out, schema, residual))
+
+
+def _null_safe_key(values: Tuple[Any, ...]) -> Tuple[Tuple[bool, Any], ...]:
+    """An ordering key in which ``None`` sorts last and equals itself.
+
+    Keeps merge-join semantics aligned with hash join, where ``None`` keys
+    fall into the same bucket and therefore match each other; plain tuple
+    sorting would raise TypeError on ``None`` vs non-``None`` comparisons.
+    """
+    return tuple((True, 0) if v is None else (False, v) for v in values)
+
+
 def merge_join(
     left: Relation,
     right: Relation,
@@ -118,13 +251,21 @@ def merge_join(
         return nested_loop_join(left, right, conditions, residual)
     schema = _output(left, right)
     left_pos, right_pos = _join_positions(left.schema, right.schema, conditions)
-    lrows = sorted(left.rows, key=lambda r: tuple(r[i] for i in left_pos))
-    rrows = sorted(right.rows, key=lambda r: tuple(r[i] for i in right_pos))
+    # Decorate once: each side's ordering keys are computed a single time,
+    # then the merge works over the precomputed key arrays.
+    ldec = sorted(
+        ((_null_safe_key(tuple(r[i] for i in left_pos)), r) for r in left.rows),
+        key=lambda kr: kr[0],
+    )
+    rdec = sorted(
+        ((_null_safe_key(tuple(r[i] for i in right_pos)), r) for r in right.rows),
+        key=lambda kr: kr[0],
+    )
     out: List[Row] = []
     i = j = 0
-    while i < len(lrows) and j < len(rrows):
-        lkey = tuple(lrows[i][p] for p in left_pos)
-        rkey = tuple(rrows[j][p] for p in right_pos)
+    while i < len(ldec) and j < len(rdec):
+        lkey = ldec[i][0]
+        rkey = rdec[j][0]
         if lkey < rkey:
             i += 1
         elif lkey > rkey:
@@ -132,14 +273,15 @@ def merge_join(
         else:
             # Gather the full run of equal keys on both sides.
             i_end = i
-            while i_end < len(lrows) and tuple(lrows[i_end][p] for p in left_pos) == lkey:
+            while i_end < len(ldec) and ldec[i_end][0] == lkey:
                 i_end += 1
             j_end = j
-            while j_end < len(rrows) and tuple(rrows[j_end][p] for p in right_pos) == rkey:
+            while j_end < len(rdec) and rdec[j_end][0] == rkey:
                 j_end += 1
             for li in range(i, i_end):
+                lrow = ldec[li][1]
                 for rj in range(j, j_end):
-                    out.append(lrows[li] + rrows[rj])
+                    out.append(lrow + rdec[rj][1])
             i, j = i_end, j_end
     return Relation(schema, _residual_filter(out, schema, residual))
 
@@ -259,6 +401,56 @@ def aggregate(
             values.append(_compute_aggregate(spec.func, column_values, len(rows)))
         out.append(tuple(values))
     return Relation(out_schema, out)
+
+
+def aggregate_batch(
+    relation: Relation,
+    group_by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> Relation:
+    """Vectorized hash aggregation, bag-identical to :func:`aggregate`.
+
+    Grouping runs over the group-by column array (scalar dictionary keys for
+    single-column group-bys), and each aggregate is then computed column-at-
+    a-time from the grouped row indices.  The same accumulation helpers as
+    the row-at-a-time path (:func:`_compute_aggregate`, order-independent
+    sums) guarantee bit-identical aggregate values.
+    """
+    schema = relation.schema
+    group_pos = schema.positions(group_by)
+    agg_pos = [schema.index_of(a.column) if a.column else None for a in aggregates]
+    out_schema = _aggregate_schema(schema, group_by, aggregates)
+    rows = relation.rows
+
+    # Group row indices by key, column-at-a-time.
+    single = len(group_pos) == 1
+    if single:
+        keys: Sequence[Any] = relation.column_at(group_pos[0])
+    elif group_pos:
+        keys = list(zip(*(relation.column_at(i) for i in group_pos)))
+    else:
+        keys = [()] * len(rows)
+    index_groups: Dict[Any, List[int]] = {}
+    setdefault = index_groups.setdefault
+    for i, key in enumerate(keys):
+        setdefault(key, []).append(i)
+    if not group_by and not index_groups:
+        index_groups[()] = []
+
+    agg_columns = [
+        relation.column_at(pos) if pos is not None else None for pos in agg_pos
+    ]
+    out: List[Row] = []
+    for key, indices in index_groups.items():
+        values: List[Any] = [key] if single else list(key)
+        for spec, column in zip(aggregates, agg_columns):
+            if column is None:
+                column_values: List[Any] = []
+            else:
+                column_values = [column[i] for i in indices if column[i] is not None]
+            values.append(_compute_aggregate(spec.func, column_values, len(indices)))
+        out.append(tuple(values))
+    return Relation.from_trusted_rows(out_schema, out)
 
 
 def sort(relation: Relation, columns: Sequence[str]) -> Relation:

@@ -1,0 +1,816 @@
+"""Physical plan execution.
+
+This module closes the gap between the optimizer and the engine: the
+Volcano-style search (:mod:`repro.optimizer.volcano`) extracts
+:class:`~repro.optimizer.plans.PlanNode` trees annotated with per-node join
+algorithms and ``[reuse]`` markers, and this module *compiles* those trees
+into executable physical operators and runs them.
+
+The compiled pipeline honors every decision the optimizer made:
+
+* **per-node join algorithms** — ``hash``, ``merge``, ``nested_loop`` and
+  both index nested-loop orientations each map to their own operator, with
+  index nested-loops probing catalog indexes (or an ad-hoc bucket table
+  built on the fly when the planned index is not materialized).  Operators
+  may refine the costed algorithm's *implementation* without changing its
+  shape: equi-conditioned nested loops partition the inner side by key
+  (see :func:`repro.engine.operators.nested_loop_join_batch`) instead of
+  re-testing every pair;
+* **reuse markers** — ``reuse[...]`` leaves resolve through the
+  :class:`~repro.engine.executor.MaterializedRegistry` and the database's
+  materialized views, so temporarily/permanently materialized shared results
+  are read instead of recomputed;
+* **batch execution** — selections, hash joins and aggregations run on the
+  columnar fast path (:mod:`repro.engine.operators` batch kernels, compiled
+  predicate closures) instead of per-tuple interpretation.
+
+``evaluate_physical`` is the end-to-end entry point (expression → DAG →
+best plan → compiled pipeline → result); the row-at-a-time interpreter
+:func:`repro.engine.executor.evaluate` remains the correctness oracle, and
+non-strict callers fall back to it for expression shapes the planner cannot
+handle (e.g. relations missing from the catalog).
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.expressions import BaseRelation, Expression
+from repro.algebra.predicates import Predicate
+from repro.algebra.schema_derivation import derive_schema
+from repro.catalog.schema import Schema, SchemaError
+from repro.engine import operators
+from repro.engine.database import Database, DatabaseError
+from repro.engine.executor import MaterializedRegistry, evaluate
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.dag import OperatorKind
+from repro.optimizer.dag_builder import DagBuilder
+from repro.optimizer.plans import PlanNode
+from repro.optimizer.volcano import VolcanoSearch
+from repro.storage.relation import Relation
+
+
+class PhysicalPlanError(RuntimeError):
+    """Raised when a plan step cannot be compiled into a physical operator."""
+
+
+# ------------------------------------------------------------------- operators
+
+class PhysicalOperator:
+    """Base class: a node of the executable operator pipeline."""
+
+    #: Short name used by ``explain`` output.
+    kind: str = "physical"
+
+    def __init__(self, children: Sequence["PhysicalOperator"] = ()) -> None:
+        self.children: List[PhysicalOperator] = list(children)
+
+    def execute(self) -> Relation:
+        """Produce this operator's output bag."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line description for explain output."""
+        return self.kind
+
+    def explain(self, indent: int = 0) -> str:
+        """Multi-line, indented rendering of the compiled pipeline."""
+        lines = [f"{'  ' * indent}{self.describe()}"]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def operator_kinds(self) -> List[str]:
+        """All operator kinds in the pipeline (pre-order; used by tests)."""
+        kinds = [self.kind]
+        for child in self.children:
+            kinds.extend(child.operator_kinds())
+        return kinds
+
+
+class TableScan(PhysicalOperator):
+    """Scan of a stored base table (or a view registered as a source)."""
+
+    kind = "scan"
+
+    def __init__(self, database: Database, relation: str) -> None:
+        super().__init__()
+        self.database = database
+        self.relation = relation
+
+    def execute(self) -> Relation:
+        return self.database.table(self.relation)
+
+    def describe(self) -> str:
+        return f"scan({self.relation})"
+
+
+class MaterializedScan(PhysicalOperator):
+    """Read of a materialized (temporary or permanent) result — a reuse leaf."""
+
+    kind = "reuse"
+
+    def __init__(self, database: Database, view_name: str) -> None:
+        super().__init__()
+        self.database = database
+        self.view_name = view_name
+
+    def execute(self) -> Relation:
+        return self.database.view(self.view_name)
+
+    def describe(self) -> str:
+        return f"reuse({self.view_name})"
+
+
+class LogicalFallback(PhysicalOperator):
+    """Evaluate a sub-expression through the logical interpreter.
+
+    Used for plan steps without an executable payload (exotic leaves) so a
+    partially compilable plan still runs end to end.
+    """
+
+    kind = "logical"
+
+    def __init__(
+        self,
+        database: Database,
+        expression: Expression,
+        materialized: Optional[MaterializedRegistry] = None,
+    ) -> None:
+        super().__init__()
+        self.database = database
+        self.expression = expression
+        self.materialized = materialized
+
+    def execute(self) -> Relation:
+        return evaluate(self.expression, self.database, self.materialized)
+
+    def describe(self) -> str:
+        return f"logical({self.expression.canonical()})"
+
+
+class Filter(PhysicalOperator):
+    """Batch selection over the columnar fast path."""
+
+    kind = "filter"
+
+    def __init__(self, child: PhysicalOperator, predicate: Predicate) -> None:
+        super().__init__([child])
+        self.predicate = predicate
+
+    def execute(self) -> Relation:
+        return operators.select_batch(self.children[0].execute(), self.predicate)
+
+    def describe(self) -> str:
+        return f"filter[{self.predicate.canonical()}]"
+
+
+class Projection(PhysicalOperator):
+    """Duplicate-preserving projection."""
+
+    kind = "project"
+
+    def __init__(self, child: PhysicalOperator, columns: Sequence[str]) -> None:
+        super().__init__([child])
+        self.columns = tuple(columns)
+
+    def execute(self) -> Relation:
+        return self.children[0].execute().project(self.columns)
+
+    def describe(self) -> str:
+        return f"project[{','.join(self.columns)}]"
+
+
+class HashJoin(PhysicalOperator):
+    """Vectorized hash join (build on the right input, probe with the left)."""
+
+    kind = "hash_join"
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        conditions: Sequence[Tuple[str, str]],
+        residual: Optional[Predicate] = None,
+    ) -> None:
+        super().__init__([left, right])
+        self.conditions = tuple(conditions)
+        self.residual = residual
+
+    def execute(self) -> Relation:
+        return operators.hash_join_batch(
+            self.children[0].execute(),
+            self.children[1].execute(),
+            self.conditions,
+            self.residual,
+        )
+
+    def describe(self) -> str:
+        conds = ",".join(f"{a}={b}" for a, b in self.conditions) or "⨯"
+        return f"hash_join[{conds}]"
+
+
+class MergeJoin(PhysicalOperator):
+    """Sort-merge join."""
+
+    kind = "merge_join"
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        conditions: Sequence[Tuple[str, str]],
+        residual: Optional[Predicate] = None,
+    ) -> None:
+        super().__init__([left, right])
+        self.conditions = tuple(conditions)
+        self.residual = residual
+
+    def execute(self) -> Relation:
+        return operators.merge_join(
+            self.children[0].execute(),
+            self.children[1].execute(),
+            self.conditions,
+            self.residual,
+        )
+
+    def describe(self) -> str:
+        conds = ",".join(f"{a}={b}" for a, b in self.conditions)
+        return f"merge_join[{conds}]"
+
+
+class NestedLoopJoin(PhysicalOperator):
+    """Nested-loop join (also the cross-product operator).
+
+    Executes through the batch kernel, which partitions the inner side by
+    join key when equi-conditions exist — the output bag is identical to a
+    plain tuple nested loop, without the quadratic pair scan the cost
+    model's I/O-oriented estimate never intended to charge for.
+    """
+
+    kind = "nested_loop_join"
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        conditions: Sequence[Tuple[str, str]],
+        residual: Optional[Predicate] = None,
+    ) -> None:
+        super().__init__([left, right])
+        self.conditions = tuple(conditions)
+        self.residual = residual
+
+    def execute(self) -> Relation:
+        return operators.nested_loop_join_batch(
+            self.children[0].execute(),
+            self.children[1].execute(),
+            self.conditions,
+            self.residual,
+        )
+
+
+class IndexNestedLoopJoin(PhysicalOperator):
+    """Index nested-loop join probing an index on the stored inner side.
+
+    ``inner_side`` names which child (``"left"`` or ``"right"``) the
+    optimizer chose as the indexed stored input; the other side drives the
+    probe loop.  Output column order is always left ++ right, matching the
+    logical operator, regardless of which side is probed.  When the planned
+    index is not materialized in the database (the optimizer may assume an
+    index chosen for materialization that the caller never built), an ad-hoc
+    hash index is constructed — the plan still runs, just without the
+    amortized benefit.
+    """
+
+    kind = "index_nested_loop_join"
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        conditions: Sequence[Tuple[str, str]],
+        residual: Optional[Predicate] = None,
+        inner_side: str = "right",
+        database: Optional[Database] = None,
+        inner_name: Optional[str] = None,
+    ) -> None:
+        super().__init__([left, right])
+        self.conditions = tuple(conditions)
+        self.residual = residual
+        self.inner_side = inner_side
+        self.database = database
+        self.inner_name = inner_name
+
+    def _catalog_lookup(self, inner: Relation, columns: Sequence[str], probe_count: int):
+        """A key→rows lookup over a catalog index, when one is usable.
+
+        A catalog hash index is used when its key matches the probe key
+        exactly.  A catalog sorted index is probed (exact or by prefix) only
+        while the probe count stays small relative to the inner cardinality
+        — beyond that, one O(|inner|) bucket-table build amortizes to
+        cheaper constant-time probes than repeated binary searches, so the
+        caller falls back to its inline bucket join.
+        """
+        if self.database is None or self.inner_name is None:
+            return None
+        index = self.database.index_for(self.inner_name, columns)
+        if index is None:
+            return None
+        wanted = tuple(c.rsplit(".", 1)[-1] for c in columns)
+        key = tuple(c.rsplit(".", 1)[-1] for c in index.columns)
+        if key == wanted and getattr(index, "kind", "") == "hash":
+            return index.lookup
+        if hasattr(index, "prefix_lookup") and probe_count <= max(64, len(inner) // 8):
+            # Sorted probes cannot order None against other values (and a
+            # sorted index over None keys cannot even be built), so a probe
+            # key containing None simply has no match.
+            prefix_lookup = index.prefix_lookup
+
+            def null_safe_probe(probe_key):
+                if any(v is None for v in probe_key):
+                    return ()
+                return prefix_lookup(probe_key)
+
+            return null_safe_probe
+        return None
+
+    def execute(self) -> Relation:
+        left = self.children[0].execute()
+        right = self.children[1].execute()
+        left_pos, right_pos = operators._join_positions(
+            left.schema, right.schema, self.conditions
+        )
+        schema = left.schema.concat(right.schema)
+        if self.inner_side == "right":
+            inner, outer = right, left
+            inner_pos, outer_pos = right_pos, left_pos
+        else:
+            inner, outer = left, right
+            inner_pos, outer_pos = left_pos, right_pos
+        inner_columns = [inner.schema.columns[i].name for i in inner_pos]
+        lookup = self._catalog_lookup(inner, inner_columns, len(outer))
+        orows = outer.rows
+        right_inner = self.inner_side == "right"
+        if lookup is not None:
+            if right_inner:
+                out = [
+                    orow + irow
+                    for orow in orows
+                    for irow in lookup(tuple(orow[i] for i in outer_pos))
+                ]
+            else:
+                out = [
+                    irow + orow
+                    for orow in orows
+                    for irow in lookup(tuple(orow[i] for i in outer_pos))
+                ]
+        else:
+            # No materialized index worth probing: build the bucket table the
+            # optimizer assumed, keyed directly on the join columns.
+            buckets: Dict[Any, List[Tuple[Any, ...]]] = {}
+            setdefault = buckets.setdefault
+            get = buckets.get
+            empty: Tuple[Tuple[Any, ...], ...] = ()
+            if len(inner_pos) == 1:
+                ii = inner_pos[0]
+                oi = outer_pos[0]
+                for irow in inner.rows:
+                    setdefault(irow[ii], []).append(irow)
+                if right_inner:
+                    out = [orow + irow for orow in orows for irow in get(orow[oi], empty)]
+                else:
+                    out = [irow + orow for orow in orows for irow in get(orow[oi], empty)]
+            else:
+                for irow in inner.rows:
+                    setdefault(tuple(irow[i] for i in inner_pos), []).append(irow)
+                if right_inner:
+                    out = [
+                        orow + irow
+                        for orow in orows
+                        for irow in get(tuple(orow[i] for i in outer_pos), empty)
+                    ]
+                else:
+                    out = [
+                        irow + orow
+                        for orow in orows
+                        for irow in get(tuple(orow[i] for i in outer_pos), empty)
+                    ]
+        rows = operators._residual_filter(out, schema, self.residual)
+        return Relation.from_trusted_rows(schema, rows)
+
+    def describe(self) -> str:
+        conds = ",".join(f"{a}={b}" for a, b in self.conditions)
+        return f"index_nested_loop_join[{conds}; inner={self.inner_side}]"
+
+
+class HashAggregate(PhysicalOperator):
+    """Vectorized hash group-by/aggregation."""
+
+    kind = "hash_aggregate"
+
+    def __init__(self, child: PhysicalOperator, group_by, aggregates) -> None:
+        super().__init__([child])
+        self.group_by = tuple(group_by)
+        self.aggregates = tuple(aggregates)
+
+    def execute(self) -> Relation:
+        return operators.aggregate_batch(
+            self.children[0].execute(), self.group_by, self.aggregates
+        )
+
+    def describe(self) -> str:
+        aggs = ",".join(a.canonical() for a in self.aggregates)
+        return f"hash_aggregate[{','.join(self.group_by)};{aggs}]"
+
+
+class UnionAllOp(PhysicalOperator):
+    """Multiset union (positional, like the logical operator).
+
+    Each input whose logical schema is known is conformed back to it first,
+    undoing any column reordering the optimizer's join reassociation caused
+    inside that branch; inputs then combine strictly by position, exactly as
+    the interpreter does.
+    """
+
+    kind = "union_all"
+
+    def __init__(
+        self,
+        children: Sequence[PhysicalOperator],
+        expected: Optional[Sequence[Optional[Schema]]] = None,
+    ) -> None:
+        super().__init__(children)
+        self.expected = list(expected or [])
+
+    def execute(self) -> Relation:
+        results = [
+            _align(child.execute(), self._expected_for(i))
+            for i, child in enumerate(self.children)
+        ]
+        return operators.union_all(*results)
+
+    def _expected_for(self, index: int) -> Optional[Schema]:
+        return self.expected[index] if index < len(self.expected) else None
+
+
+class DifferenceOp(PhysicalOperator):
+    """Multiset difference (positional); inputs conform to their own schemas."""
+
+    kind = "difference"
+
+    def __init__(
+        self,
+        children: Sequence[PhysicalOperator],
+        expected: Optional[Sequence[Optional[Schema]]] = None,
+    ) -> None:
+        super().__init__(children)
+        self.expected = list(expected or [])
+
+    def execute(self) -> Relation:
+        left = self.children[0].execute()
+        right = self.children[1].execute()
+        if len(self.expected) == 2:
+            left = _align(left, self.expected[0])
+            right = _align(right, self.expected[1])
+        return operators.difference(left, right)
+
+
+class DistinctOp(PhysicalOperator):
+    """Duplicate elimination."""
+
+    kind = "distinct"
+
+    def execute(self) -> Relation:
+        return operators.distinct(self.children[0].execute())
+
+
+# ----------------------------------------------------------- schema conformance
+
+def _align(relation: Relation, expected: Optional[Schema]) -> Relation:
+    """Conform a set-operation input to its own logical schema, if known.
+
+    Union/difference are positional in the multiset algebra, so inputs are
+    never reordered against *each other* — only back to the column order
+    their own logical sub-expression defines, undoing join reassociation
+    inside the branch.  Inputs with unknown logical schemas (or with column
+    names that no longer match it) pass through untouched.
+    """
+    if expected is None:
+        return relation
+    if sorted(c.name for c in relation.schema.columns) == sorted(
+        c.name for c in expected.columns
+    ):
+        return _conform(relation, expected)
+    return relation
+
+
+def _conform(relation: Relation, expected: Schema) -> Relation:
+    """Reorder ``relation``'s columns (by name) to match ``expected``.
+
+    The optimizer freely reassociates joins, so a physical pipeline may
+    produce the same bag with permuted columns relative to the logical
+    expression; conforming by name restores the logical column order.  A
+    no-op when the orders already agree.
+    """
+    names = tuple(c.name for c in relation.schema.columns)
+    expected_names = tuple(c.name for c in expected.columns)
+    if names == expected_names:
+        return relation
+    if len(set(names)) == len(names):
+        positions = [relation.schema.index_of(name) for name in expected_names]
+    else:
+        # Duplicate column names (e.g. a self-join): index_of would map every
+        # duplicate to its first occurrence, silently collapsing distinct
+        # columns.  Map the k-th occurrence of a name in the expected order
+        # to the k-th occurrence in the produced order instead.
+        occurrences: Dict[str, List[int]] = {}
+        for i, column in enumerate(relation.schema.columns):
+            occurrences.setdefault(column.name, []).append(i)
+        taken: Dict[str, int] = {}
+        positions = []
+        for name in expected_names:
+            slots = occurrences.get(name)
+            k = taken.get(name, 0)
+            if not slots or k >= len(slots):
+                raise SchemaError(
+                    f"cannot conform schema {names} to {expected_names}: "
+                    f"occurrence {k} of column {name!r} is missing"
+                )
+            positions.append(slots[k])
+            taken[name] = k + 1
+    if len(positions) == 1:
+        i = positions[0]
+        rows = [(row[i],) for row in relation.rows]
+    else:
+        getter = itemgetter(*positions)
+        rows = [getter(row) for row in relation.rows]
+    return Relation.from_trusted_rows(expected, rows, relation.name)
+
+
+# ------------------------------------------------------------------ compilation
+
+def compile_plan(
+    plan: PlanNode,
+    database: Database,
+    materialized: Optional[MaterializedRegistry] = None,
+    strict: bool = False,
+) -> PhysicalOperator:
+    """Compile an optimizer-extracted plan tree into a physical pipeline.
+
+    ``materialized`` resolves reuse steps whose equivalence node has no view
+    name of its own (temporary materializations registered by expression).
+    With ``strict`` set, steps that cannot be compiled raise
+    :class:`PhysicalPlanError`; otherwise they degrade to a
+    :class:`LogicalFallback` over the step's logical expression.
+    """
+
+    def fail(message: str, node: PlanNode) -> PhysicalOperator:
+        if strict or node.expression is None:
+            raise PhysicalPlanError(f"{message} (plan step: {node.description})")
+        return LogicalFallback(database, node.expression, materialized)
+
+    def compile_node(node: PlanNode) -> PhysicalOperator:
+        if node.reused:
+            return compile_reuse(node)
+        op = node.operator
+        if op is None:
+            if isinstance(node.expression, BaseRelation):
+                return TableScan(database, node.expression.name)
+            return fail("plan step has no executable operator", node)
+        if op.kind is OperatorKind.SCAN:
+            return TableScan(database, op.relation)
+        children = [compile_node(child) for child in node.children]
+        if op.kind is OperatorKind.SELECT:
+            return Filter(children[0], op.predicate)
+        if op.kind is OperatorKind.PROJECT:
+            return Projection(children[0], op.columns)
+        if op.kind is OperatorKind.JOIN:
+            return compile_join(node, children)
+        if op.kind is OperatorKind.AGGREGATE:
+            return HashAggregate(children[0], op.group_by, op.aggregates)
+        if op.kind is OperatorKind.UNION:
+            return UnionAllOp(children, _input_schemas(node))
+        if op.kind is OperatorKind.DIFFERENCE:
+            return DifferenceOp(children, _input_schemas(node))
+        if op.kind is OperatorKind.DISTINCT:
+            return DistinctOp(children)
+        return fail(f"unsupported operator kind {op.kind}", node)
+
+    def _input_schemas(node: PlanNode) -> List[Optional[Schema]]:
+        """Logical schemas of a set operation's inputs, where derivable."""
+        schemas: List[Optional[Schema]] = []
+        for child in node.children:
+            schema: Optional[Schema] = None
+            if child.expression is not None:
+                try:
+                    schema = derive_schema(child.expression, database.catalog)
+                except Exception:
+                    schema = None
+            schemas.append(schema)
+        return schemas
+
+    def compile_reuse(node: PlanNode) -> PhysicalOperator:
+        # Registry bindings are keyed by the expression's canonical form and
+        # are therefore a *semantic* identity; the plan's view_name label may
+        # be a DAG-scoped name like "e14" that another DAG assigned to a
+        # different expression.  Prefer the registry.
+        candidates = []
+        if materialized is not None and node.expression is not None:
+            registered = materialized.lookup(node.expression)
+            if registered:
+                candidates.append(registered)
+        if node.view_name:
+            candidates.append(node.view_name)
+        for name in candidates:
+            if database.has_view(name):
+                return MaterializedScan(database, name)
+            if database.has_relation(name):
+                # The reused result is stored as a base relation (e.g. a
+                # permanently materialized result loaded as a table).
+                return TableScan(database, name)
+        return fail(
+            f"reused result {candidates or [node.description]} is not materialized", node
+        )
+
+    def compile_join(node: PlanNode, children: List[PhysicalOperator]) -> PhysicalOperator:
+        op = node.operator
+        left, right = children
+        algorithm = node.algorithm or "hash"
+        if algorithm == "merge":
+            return MergeJoin(left, right, op.conditions, op.residual)
+        if algorithm == "nested_loop":
+            return NestedLoopJoin(left, right, op.conditions, op.residual)
+        if algorithm.startswith("index_nested_loop"):
+            inner_side = "left" if algorithm.endswith("_left") else "right"
+            inner = left if inner_side == "left" else right
+            inner_name = _stored_name(inner)
+            return IndexNestedLoopJoin(
+                left,
+                right,
+                op.conditions,
+                op.residual,
+                inner_side=inner_side,
+                database=database,
+                inner_name=inner_name,
+            )
+        return HashJoin(left, right, op.conditions, op.residual)
+
+    def _stored_name(operator: PhysicalOperator) -> Optional[str]:
+        if isinstance(operator, TableScan):
+            return operator.relation
+        if isinstance(operator, MaterializedScan):
+            return operator.view_name
+        return None
+
+    return compile_node(plan)
+
+
+def execute_plan(
+    plan: PlanNode,
+    database: Database,
+    materialized: Optional[MaterializedRegistry] = None,
+    strict: bool = False,
+    output_schema: Optional[Schema] = None,
+) -> Relation:
+    """Compile and run one optimizer plan; optionally conform the output."""
+    pipeline = compile_plan(plan, database, materialized, strict=strict)
+    result = pipeline.execute()
+    if output_schema is not None:
+        result = _conform(result, output_schema)
+    return result
+
+
+# ------------------------------------------------------------------ entry point
+
+class PhysicalExecutor:
+    """Plans and executes logical expressions through the physical layer.
+
+    Wraps the full pipeline (DAG construction → Volcano search → plan
+    extraction → compilation → execution) behind an ``evaluate``-shaped
+    interface, with a per-expression plan cache.  Materialized views
+    registered in a :class:`MaterializedRegistry` participate both as reuse
+    opportunities during planning and as resolution targets at compile time.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        cost_model: Optional[CostModel] = None,
+        strict: bool = False,
+    ) -> None:
+        self.database = database
+        self.cost_model = cost_model or CostModel()
+        self.strict = strict
+        self._plans: Dict[str, Tuple[PlanNode, Schema]] = {}
+
+    # ------------------------------------------------------------------ caching
+
+    def _cache_key(self, expression: Expression, materialized: Optional[MaterializedRegistry]) -> str:
+        reusable = ""
+        if materialized is not None:
+            # A cached plan is only replayable while the same reusable
+            # results are available: key on the registry's live bindings
+            # (expression → view) restricted to views that actually exist,
+            # so re-registrations and re-materializations force a replan.
+            reusable = ";".join(
+                f"{canonical}->{view}"
+                for canonical, view in materialized.snapshot()
+                if self.database.has_view(view)
+            )
+        return f"{expression.canonical()}|{reusable}"
+
+    # ---------------------------------------------------------------- planning
+
+    def plan(
+        self,
+        expression: Expression,
+        materialized: Optional[MaterializedRegistry] = None,
+    ) -> Tuple[PlanNode, Schema]:
+        """The best physical plan and the logical output schema."""
+        key = self._cache_key(expression, materialized)
+        cached = self._plans.get(key)
+        if cached is not None:
+            return cached
+        catalog = self.database.catalog
+        builder = DagBuilder(catalog)
+        builder.add_query("__physical__", expression)
+        dag = builder.finish()
+        materialized_ids = set()
+        if materialized is not None:
+            for node in dag.equivalence_nodes:
+                if node.is_base_relation:
+                    continue
+                view_name = materialized.lookup(node.expression)
+                if view_name is not None and self.database.has_view(view_name):
+                    materialized_ids.add(node.id)
+                    node.view_name = node.view_name or view_name
+        search = VolcanoSearch(dag, catalog, self.cost_model)
+        outcome = search.optimize(materialized=materialized_ids)
+        plan = outcome.extract_plan(dag.roots["__physical__"].id)
+        schema = derive_schema(expression, catalog)
+        self._plans[key] = (plan, schema)
+        return plan, schema
+
+    # --------------------------------------------------------------- execution
+
+    def evaluate(
+        self,
+        expression: Expression,
+        materialized: Optional[MaterializedRegistry] = None,
+    ) -> Relation:
+        """Evaluate ``expression`` through the physical layer.
+
+        Mirrors :func:`repro.engine.executor.evaluate`: a registry hit on the
+        whole expression short-circuits to the stored view.  Expressions the
+        planner cannot handle fall back to the logical interpreter unless
+        ``strict`` was set.
+        """
+        if materialized is not None:
+            view_name = materialized.lookup(expression)
+            if view_name is not None and self.database.has_view(view_name):
+                return self.database.view(view_name)
+        try:
+            plan, schema = self.plan(expression, materialized)
+        except (SchemaError, DatabaseError, KeyError, TypeError) as exc:
+            # Planning failures (relations missing from the catalog, exotic
+            # expression shapes) are expected for some callers; fall back to
+            # the interpreter unless strict.
+            if self.strict:
+                raise PhysicalPlanError(
+                    f"cannot plan {expression.canonical()} physically: {exc}"
+                ) from exc
+            return evaluate(expression, self.database, materialized)
+        try:
+            return execute_plan(
+                plan,
+                self.database,
+                materialized,
+                strict=self.strict,
+                output_schema=schema,
+            )
+        except (PhysicalPlanError, SchemaError, DatabaseError) as exc:
+            # Execution-time *resolution* failures (a reused view dropped
+            # between planning and execution, unresolvable columns) degrade
+            # to the interpreter.  Anything else — TypeError, KeyError — is
+            # a genuine operator defect and must surface, not be silently
+            # absorbed by the fallback.
+            if self.strict:
+                raise PhysicalPlanError(
+                    f"cannot execute {expression.canonical()} physically: {exc}"
+                ) from exc
+            return evaluate(expression, self.database, materialized)
+
+
+def evaluate_physical(
+    expression: Expression,
+    database: Database,
+    materialized: Optional[MaterializedRegistry] = None,
+    cost_model: Optional[CostModel] = None,
+    strict: bool = False,
+) -> Relation:
+    """One-shot convenience wrapper around :class:`PhysicalExecutor`."""
+    return PhysicalExecutor(database, cost_model=cost_model, strict=strict).evaluate(
+        expression, materialized
+    )

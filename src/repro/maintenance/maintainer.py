@@ -23,6 +23,7 @@ from repro.algebra.expressions import Expression, base_relations
 from repro.engine.database import Database
 from repro.engine.differential import differentiate
 from repro.engine.executor import MaterializedRegistry, evaluate
+from repro.engine.physical import PhysicalExecutor
 from repro.storage.delta import Delta, DeltaKind, DeltaStore
 from repro.storage.relation import Relation
 
@@ -63,6 +64,7 @@ class ViewRefresher:
         views: Mapping[str, Expression],
         temporary_subexpressions: Optional[Mapping[str, Expression]] = None,
         recompute_views: Optional[Iterable[str]] = None,
+        use_physical: bool = True,
     ) -> None:
         self.database = database
         self.views: Dict[str, Expression] = dict(views)
@@ -70,6 +72,11 @@ class ViewRefresher:
         self.temporaries: Dict[str, Expression] = dict(temporary_subexpressions or {})
         #: Views whose chosen strategy is full recomputation instead of deltas.
         self.recompute_views = set(recompute_views or ())
+        #: Full (re)computations of views and temporaries run through the
+        #: physical layer (optimizer-chosen plans, vectorized operators);
+        #: the logical interpreter remains the verification oracle.
+        self.use_physical = use_physical
+        self._physical = PhysicalExecutor(database) if use_physical else None
         self.registry = MaterializedRegistry()
         for name, expression in self.views.items():
             # Views refreshed by recomputation are left stale until the end of
@@ -80,10 +87,18 @@ class ViewRefresher:
 
     # ------------------------------------------------------------------ set-up
 
+    def _compute(
+        self, expression: Expression, materialized: Optional[MaterializedRegistry] = None
+    ) -> Relation:
+        """Full computation of an expression (physical plan when enabled)."""
+        if self._physical is not None:
+            return self._physical.evaluate(expression, materialized)
+        return evaluate(expression, self.database, materialized)
+
     def initialize_views(self) -> None:
         """Materialize every view from the current database contents."""
         for name, expression in self.views.items():
-            self.database.materialize_view(name, evaluate(expression, self.database))
+            self.database.materialize_view(name, self._compute(expression))
 
     # ------------------------------------------------------------------ refresh
 
@@ -137,7 +152,7 @@ class ViewRefresher:
         # against the fully updated database.
         for name in self.recompute_views:
             if name in self.views:
-                self.database.materialize_view(name, evaluate(self.views[name], self.database))
+                self.database.materialize_view(name, self._compute(self.views[name]))
                 report.recomputed_views.append(name)
         return report
 
@@ -151,7 +166,7 @@ class ViewRefresher:
         the start of each single-relation update round and dropped at its end.
         """
         for name, expression in self.temporaries.items():
-            self.database.materialize_view(name, evaluate(expression, self.database, self.registry))
+            self.database.materialize_view(name, self._compute(expression, self.registry))
             self.registry.register(expression, name)
 
     def _drop_temporaries(self) -> None:
@@ -181,6 +196,7 @@ def apply_and_refresh(
     deltas: DeltaStore,
     temporary_subexpressions: Optional[Mapping[str, Expression]] = None,
     recompute_views: Optional[Iterable[str]] = None,
+    use_physical: bool = True,
 ) -> Tuple[RefreshReport, Dict[str, bool]]:
     """Convenience wrapper: refresh the views and verify them against recomputation."""
     refresher = ViewRefresher(
@@ -188,6 +204,7 @@ def apply_and_refresh(
         views,
         temporary_subexpressions=temporary_subexpressions,
         recompute_views=recompute_views,
+        use_physical=use_physical,
     )
     if not all(database.has_view(name) for name in views):
         refresher.initialize_views()

@@ -4,6 +4,13 @@ A :class:`PlanNode` records, per step, which operation was chosen for which
 equivalence node, which join/aggregation algorithm prices it, what its
 estimated cost and cardinality are, and whether an input was satisfied by
 reusing a materialized result rather than recomputing it.
+
+Besides the display fields, each node carries an *execution payload*: the
+algebraic :class:`~repro.optimizer.dag.Operator` the optimizer chose and a
+representative logical :class:`~repro.algebra.Expression` for the step's
+result.  The physical layer (:mod:`repro.engine.physical`) compiles these
+payloads into executable operators, so the plans the optimizer picks are the
+plans that actually run.
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.algebra.expressions import Expression
 from repro.catalog.statistics import TableStats
 from repro.optimizer.dag import Operator
 
@@ -26,6 +34,15 @@ class PlanNode:
     algorithm: str = ""
     reused: bool = False
     children: List["PlanNode"] = field(default_factory=list)
+    #: The algebraic operation the optimizer chose for this step (None for
+    #: reuse leaves and for leaves without an explicit operation node).
+    operator: Optional[Operator] = None
+    #: A representative logical expression for this step's result; used by
+    #: the physical layer to resolve reuse through a materialized registry
+    #: and as a correctness/fallback oracle.
+    expression: Optional[Expression] = None
+    #: The materialized view holding this step's result, for reuse leaves.
+    view_name: Optional[str] = None
 
     def total_cost(self) -> float:
         """The cost recorded at the root (already includes the children)."""
@@ -56,7 +73,14 @@ class PlanNode:
         return found
 
 
-def reuse_plan(node_id: int, label: str, cost: float, stats: TableStats) -> PlanNode:
+def reuse_plan(
+    node_id: int,
+    label: str,
+    cost: float,
+    stats: TableStats,
+    expression: Optional[Expression] = None,
+    view_name: Optional[str] = None,
+) -> PlanNode:
     """A leaf plan step that reads a materialized result."""
     return PlanNode(
         description=f"reuse[{label}]",
@@ -65,4 +89,6 @@ def reuse_plan(node_id: int, label: str, cost: float, stats: TableStats) -> Plan
         cardinality=stats.cardinality,
         algorithm="scan",
         reused=True,
+        expression=expression,
+        view_name=view_name or label,
     )

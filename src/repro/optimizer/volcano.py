@@ -223,21 +223,32 @@ class SearchResult:
         best = self._memo[node.id]
         if not is_root and node.id in self.materialized and reuse_cost <= best.compcost:
             label = node.view_name or f"e{node.id}"
-            return reuse_plan(node.id, label, reuse_cost, node.stats)
+            return reuse_plan(
+                node.id,
+                label,
+                reuse_cost,
+                node.stats,
+                expression=node.expression,
+                view_name=node.view_name,
+            )
         if best.best_operation is None:
             if node.is_base_relation:
+                relation = node.expression.canonical()
                 return PlanNode(
-                    description=f"scan({node.expression.canonical()})",
+                    description=f"scan({relation})",
                     node_id=node.id,
                     cost=self._search.cost_model.scan_cost(node.stats),
                     cardinality=node.stats.cardinality,
                     algorithm="scan",
+                    operator=Operator(OperatorKind.SCAN, relation=relation),
+                    expression=node.expression,
                 )
             return PlanNode(
                 description=node.key,
                 node_id=node.id,
                 cost=best.compcost,
                 cardinality=node.stats.cardinality,
+                expression=node.expression,
             )
         choice = best.best_operation
         children = [self._extract(child) for child in choice.operation.inputs]
@@ -248,4 +259,6 @@ class SearchResult:
             cardinality=node.stats.cardinality,
             algorithm=choice.algorithm,
             children=children,
+            operator=choice.operation.operator,
+            expression=node.expression,
         )

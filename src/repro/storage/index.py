@@ -82,6 +82,24 @@ class SortedIndex:
         rows = self._relation.rows
         return [rows[self._rowpos[i]] for i in range(lo, hi)]
 
+    def prefix_lookup(self, key: Sequence[Any]) -> List[Row]:
+        """All rows whose leading indexed columns equal ``key``.
+
+        Unlike :meth:`lookup`, the probe key may cover only a prefix of the
+        index's columns — the sorted order makes the matching run contiguous.
+        """
+        key = tuple(key)
+        width = len(key)
+        if width == len(self.columns):
+            return self.lookup(key)
+        rows = self._relation.rows
+        out: List[Row] = []
+        for i in range(bisect.bisect_left(self._keys, key), len(self._keys)):
+            if self._keys[i][:width] != key:
+                break
+            out.append(rows[self._rowpos[i]])
+        return out
+
     def range(
         self,
         low: Optional[Sequence[Any]] = None,

@@ -10,6 +10,7 @@ incremental refresh produces the same bag as recomputation.
 from __future__ import annotations
 
 from collections import Counter
+from operator import itemgetter as _itemgetter
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.catalog.schema import Column, ColumnType, Schema
@@ -30,6 +31,12 @@ class Relation:
         self.schema = schema
         self.name = name
         self._rows: List[Row] = [tuple(r) for r in rows] if rows is not None else []
+        #: Lazily built column arrays (the columnar fast path); invalidated
+        #: whenever the bag is mutated through :meth:`add`/:meth:`extend`.
+        self._columns: Optional[Tuple[Tuple[Any, ...], ...]] = None
+        #: Per-position column cache for single-column reads, so narrow
+        #: accesses to wide relations do not materialize every column.
+        self._column_cache: Dict[int, Tuple[Any, ...]] = {}
         arity = len(schema)
         for row in self._rows:
             if len(row) != arity:
@@ -51,6 +58,38 @@ class Relation:
         """An empty relation with the same schema as ``other``."""
         return Relation(other.schema, [], name or other.name)
 
+    @staticmethod
+    def from_trusted_rows(schema: Schema, rows: List[Row], name: str = "") -> "Relation":
+        """Wrap an already-validated list of tuples without copying it.
+
+        Fast-path constructor for operators whose outputs are built from
+        existing relation tuples (selection keeps rows, joins concatenate
+        tuples), where re-tupling and arity-checking every row would double
+        the cost of the hot loop.  The caller must hand over ownership of
+        ``rows``.
+        """
+        relation = Relation.__new__(Relation)
+        relation.schema = schema
+        relation.name = name
+        relation._rows = rows
+        relation._columns = None
+        relation._column_cache = {}
+        return relation
+
+    @staticmethod
+    def from_columns(
+        schema: Schema, columns: Sequence[Sequence[Any]], name: str = ""
+    ) -> "Relation":
+        """Build a relation from parallel column arrays."""
+        if len(columns) != len(schema):
+            raise ValueError(
+                f"{len(columns)} column arrays do not match schema arity {len(schema)}"
+            )
+        lengths = {len(column) for column in columns}
+        if len(lengths) > 1:
+            raise ValueError(f"column arrays have unequal lengths {sorted(lengths)}")
+        return Relation(schema, zip(*columns) if columns else [], name)
+
     # -------------------------------------------------------------- basic bag
 
     def __len__(self) -> int:
@@ -67,6 +106,42 @@ class Relation:
         """The underlying list of tuples (do not mutate directly)."""
         return self._rows
 
+    # ---------------------------------------------------------- columnar access
+
+    def columns(self) -> Tuple[Tuple[Any, ...], ...]:
+        """Column arrays, one tuple of values per schema column.
+
+        Built lazily from the row storage and cached until the bag is
+        mutated; hot operators (selection, join build/probe, aggregation)
+        read single columns as flat arrays instead of indexing every row.
+        """
+        if self._columns is None:
+            if self._rows:
+                self._columns = tuple(zip(*self._rows))
+            else:
+                self._columns = tuple(() for _ in self.schema)
+        return self._columns
+
+    def column_at(self, position: int) -> Tuple[Any, ...]:
+        """One column (by position) as a flat array.
+
+        Extracts only the requested column — wide intermediate results do
+        not pay for materializing every column the way :meth:`columns` does.
+        """
+        if self._columns is not None:
+            return self._columns[position]
+        cached = self._column_cache.get(position)
+        if cached is None:
+            if position >= len(self.schema):
+                raise IndexError(f"column position {position} out of range")
+            cached = tuple([row[position] for row in self._rows])
+            self._column_cache[position] = cached
+        return cached
+
+    def column_values(self, name: str) -> Tuple[Any, ...]:
+        """One column as a flat array (resolved like any schema lookup)."""
+        return self.column_at(self.schema.index_of(name))
+
     def counter(self) -> Counter:
         """Counted multiset view of the bag."""
         return Counter(self._rows)
@@ -81,6 +156,8 @@ class Relation:
         if len(row) != len(self.schema):
             raise ValueError(f"row {row!r} does not match schema arity {len(self.schema)}")
         self._rows.append(row)
+        self._columns = None
+        self._column_cache.clear()
 
     def extend(self, rows: Iterable[Row]) -> None:
         """Append many tuples."""
@@ -129,7 +206,13 @@ class Relation:
         """Bag projection onto ``columns`` (duplicates preserved)."""
         idxs = self.schema.positions(columns)
         schema = self.schema.project(columns)
-        return Relation(schema, [tuple(row[i] for i in idxs) for row in self._rows], self.name)
+        if len(idxs) == 1:
+            i = idxs[0]
+            rows = [(row[i],) for row in self._rows]
+        else:
+            getter = _itemgetter(*idxs)
+            rows = [getter(row) for row in self._rows]
+        return Relation.from_trusted_rows(schema, rows, self.name)
 
     def select(self, predicate: Callable[[Row], bool]) -> "Relation":
         """Bag selection by an arbitrary row predicate."""

@@ -98,3 +98,30 @@ def test_build_index_registers_in_catalog(star_database):
     star_database.build_index(IndexDef("sales", ("product_id",), kind="hash"))
     assert star_database.catalog.has_index_on("sales", ["product_id"])
     assert star_database.index_for("sales", ["product_id"]) is not None
+
+
+def test_rematerializing_a_view_rebuilds_its_indexes(star_database):
+    from repro.catalog.catalog import IndexDef
+    from repro.storage.relation import Relation
+
+    sales = star_database.table("sales")
+    star_database.materialize_view("v_idx", Relation(sales.schema, sales.rows[:2]))
+    star_database.build_index(IndexDef("v_idx", ("sale_id",), kind="hash"))
+    replacement = Relation(sales.schema, [(99, 1, 1, 1, 1.0)])
+    star_database.materialize_view("v_idx", replacement)
+    index = star_database.index_for("v_idx", ["sale_id"])
+    assert index is not None
+    assert index.lookup((99,)) == [(99, 1, 1, 1, 1.0)]
+    assert index.lookup((1,)) == []
+
+
+def test_load_table_rebuilds_indexes(star_database):
+    from repro.storage.relation import Relation
+
+    sales = star_database.table("sales")
+    replacement = Relation(sales.schema, [(50, 1, 1, 1, 1.0)])
+    star_database.load_table("sales", replacement)
+    index = star_database.index_for("sales", ["sale_id"])
+    assert index is not None
+    assert index.lookup((50,)) == [(50, 1, 1, 1, 1.0)]
+    assert index.lookup((1,)) == []

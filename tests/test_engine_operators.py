@@ -117,3 +117,16 @@ def test_aggregate_ignores_null_values():
     relation = Relation(LEFT_SCHEMA, [(1, "a", None), (2, "a", 10)])
     result = operators.aggregate(relation, ["l_key"], [AggregateSpec(AggregateFunc.SUM, "l_val", "s"), AggregateSpec(AggregateFunc.COUNT, None, "n")])
     assert result.rows == [("a", 10, 2)]
+
+
+def test_merge_join_handles_none_keys_like_hash_join():
+    from repro.catalog.schema import Schema
+    from repro.storage.relation import Relation
+
+    left = Relation(Schema.from_names(["a", "x"]), [(1, 10), (None, 20), (2, 30)])
+    right = Relation(Schema.from_names(["b", "y"]), [(None, 100), (1, 200)])
+    merged = operators.merge_join(left, right, [("a", "b")])
+    hashed = operators.hash_join(left, right, [("a", "b")])
+    assert merged.same_bag(hashed)
+    # None keys match each other, mirroring hash-bucket semantics.
+    assert (None, 20, None, 100) in merged.rows

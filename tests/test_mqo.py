@@ -98,3 +98,66 @@ def test_improvement_ratio_property(catalog):
     optimizer = MultiQueryOptimizer(catalog)
     result = optimizer.optimize(queries.example_3_1_queries())
     assert 0.0 <= result.improvement_ratio < 1.0
+
+
+def test_execute_with_temporaries_cleans_up_on_failure():
+    """A failing temporary materialization must not leak earlier temporaries."""
+    import pytest as _pytest
+
+    from repro.algebra.expressions import BaseRelation, Project
+    from repro.engine.database import Database, DatabaseError
+    from repro.catalog.schema import Schema, TableDef
+    from repro.mqo.sharing import execute_with_temporaries
+    from repro.optimizer.plans import PlanNode, reuse_plan
+    from repro.catalog.statistics import TableStats
+
+    database = Database()
+    database.create_table(TableDef("sales", Schema.from_names(["sale_id", "amount"]), ()), [(1, 10)])
+    stats = TableStats(1.0, 8, {})
+    good = Project(BaseRelation("sales"), ["sale_id"])
+    bad = Project(BaseRelation("zz_missing"), ["a", "b", "c", "d"])
+    assert len(good.canonical()) < len(bad.canonical())  # good materializes first
+    plan = PlanNode(
+        description="root",
+        node_id=0,
+        cost=1.0,
+        cardinality=1.0,
+        children=[
+            reuse_plan(1, "t_good", 0.1, stats, expression=good),
+            reuse_plan(2, "t_bad", 0.1, stats, expression=bad),
+        ],
+        expression=good,
+    )
+    with _pytest.raises(DatabaseError):
+        execute_with_temporaries(database, {}, {"q": plan})
+    # The successfully materialized temporary was rolled back.
+    assert database.view_names() == []
+
+
+def test_stale_auto_labelled_view_is_not_trusted():
+    """A leftover view named like a DAG label ("e14") must not be read as
+    this batch's shared result; the expression is recomputed fresh."""
+    from repro.algebra.expressions import BaseRelation, Project
+    from repro.engine.database import Database
+    from repro.engine.executor import evaluate
+    from repro.catalog.schema import Schema, TableDef
+    from repro.catalog.statistics import TableStats
+    from repro.mqo.sharing import execute_with_temporaries
+    from repro.optimizer.plans import PlanNode, reuse_plan
+    from repro.storage.relation import Relation
+
+    database = Database()
+    database.create_table(
+        TableDef("sales", Schema.from_names(["sale_id", "amount"]), ()), [(1, 10), (2, 20)]
+    )
+    shared = Project(BaseRelation("sales"), ["sale_id"])
+    # Poison: a stale relation under the DAG-scoped label, with wrong contents.
+    database.materialize_view("e14", Relation(Schema.from_names(["sale_id"]), [(999,)]))
+
+    stats = TableStats(2.0, 8, {})
+    plan = reuse_plan(14, "e14", 0.1, stats, expression=shared)
+    results = execute_with_temporaries(database, {"q": shared}, {"q": plan})
+    assert results["q"].same_bag(evaluate(shared, database))
+    # The poison view is untouched; the fresh temporary was dropped.
+    assert database.view_names() == ["e14"]
+    assert database.view("e14").rows == [(999,)]

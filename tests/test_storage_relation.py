@@ -102,3 +102,48 @@ def test_empty_like_copies_schema():
     empty = Relation.empty_like(relation)
     assert len(empty) == 0
     assert empty.schema.names == relation.schema.names
+
+
+# ------------------------------------------------------------- columnar access
+
+def test_columns_returns_one_array_per_schema_column():
+    relation = make([(1, 10), (2, 20), (3, 30)])
+    assert relation.columns() == ((1, 2, 3), (10, 20, 30))
+    assert make([]).columns() == ((), ())
+
+
+def test_column_values_and_column_at():
+    relation = make([(1, 10), (2, 20)])
+    assert relation.column_values("b") == (10, 20)
+    assert relation.column_at(0) == (1, 2)
+    with pytest.raises(IndexError):
+        relation.column_at(5)
+
+
+def test_column_cache_invalidated_on_mutation():
+    relation = make([(1, 10)])
+    assert relation.columns() == ((1,), (10,))
+    assert relation.column_at(1) == (10,)
+    relation.add((2, 20))
+    assert relation.columns() == ((1, 2), (10, 20))
+    assert relation.column_at(1) == (10, 20)
+
+
+def test_from_columns_round_trip():
+    relation = Relation.from_columns(Schema.from_names(["a", "b"]), [(1, 2), (10, 20)])
+    assert relation.rows == [(1, 10), (2, 20)]
+
+
+def test_from_columns_rejects_mismatches():
+    schema = Schema.from_names(["a", "b"])
+    with pytest.raises(ValueError):
+        Relation.from_columns(schema, [(1, 2)])
+    with pytest.raises(ValueError):
+        Relation.from_columns(schema, [(1, 2), (10,)])
+
+
+def test_from_trusted_rows_wraps_without_copying():
+    rows = [(1, 10), (2, 20)]
+    relation = Relation.from_trusted_rows(Schema.from_names(["a", "b"]), rows)
+    assert relation.rows is rows
+    assert relation.column_at(0) == (1, 2)
