@@ -12,14 +12,18 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.algebra.expressions import base_relations
 from repro.bench.harness import ExperimentConfig, FigureSeries, run_figure_sweep
 from repro.engine.executor import evaluate
 from repro.engine.physical import PhysicalExecutor
+from repro.maintenance.maintainer import ViewRefresher
 from repro.maintenance.optimizer import ViewMaintenanceOptimizer
 from repro.maintenance.update_spec import UpdateSpec
 from repro.mqo.greedy import MultiQueryOptimizer, MqoResult
+from repro.storage.delta import DeltaStore
 from repro.workloads import queries, tpcd
 from repro.workloads.datagen import small_database
+from repro.workloads.updategen import uniform_deltas
 
 #: The x axis of every figure: update percentages from 1% to 80% (paper §7.1).
 DEFAULT_UPDATE_PERCENTAGES: Tuple[float, ...] = (0.01, 0.05, 0.10, 0.20, 0.40, 0.60, 0.80)
@@ -404,6 +408,162 @@ def run_physical_vs_interpreter(
                 logical_seconds=logical_seconds,
                 physical_seconds=physical_seconds,
                 planning_seconds=planning_seconds,
+            )
+        )
+    return result
+
+
+# ------------------------------------------ differential refresh vs interpreter
+
+@dataclass
+class RefreshComparisonPoint:
+    """One view set's refresh timings under both differential paths."""
+
+    workload: str
+    views: int
+    rounds: int
+    #: Tuples inserted+deleted across all views and rounds (same for both
+    #: paths — the differentials are bag-identical by construction).
+    changes: int
+    interpreted_seconds: float
+    vectorized_seconds: float
+    #: Whether ``verify_against_recomputation`` passed for every view after
+    #: every refresh round, on both paths.
+    verified: bool
+
+    @property
+    def speedup(self) -> float:
+        """Interpreted-differential time over vectorized-engine time."""
+        if self.vectorized_seconds <= 0:
+            return float("inf")
+        return self.interpreted_seconds / self.vectorized_seconds
+
+
+@dataclass
+class RefreshComparisonResult:
+    """Vectorized differential engine vs the interpreted differential path."""
+
+    experiment: str
+    scale_factor: float
+    update_percentage: float
+    points: List[RefreshComparisonPoint] = field(default_factory=list)
+
+    @property
+    def total_interpreted_seconds(self) -> float:
+        """Total interpreted-differential refresh time."""
+        return sum(p.interpreted_seconds for p in self.points)
+
+    @property
+    def total_vectorized_seconds(self) -> float:
+        """Total vectorized-engine refresh time."""
+        return sum(p.vectorized_seconds for p in self.points)
+
+    @property
+    def overall_speedup(self) -> float:
+        """Workload-level refresh speedup of the vectorized engine."""
+        if self.total_vectorized_seconds <= 0:
+            return float("inf")
+        return self.total_interpreted_seconds / self.total_vectorized_seconds
+
+    @property
+    def all_verified(self) -> bool:
+        """Whether every benchmarked refresh round verified on both paths."""
+        return all(p.verified for p in self.points)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Rows suitable for tabular rendering."""
+        return [
+            {
+                "workload": p.workload,
+                "views": p.views,
+                "rounds": p.rounds,
+                "changes": p.changes,
+                "interpreted_ms": p.interpreted_seconds * 1000.0,
+                "vectorized_ms": p.vectorized_seconds * 1000.0,
+                "speedup": p.speedup,
+                "verified": p.verified,
+            }
+            for p in self.points
+        ]
+
+
+def run_refresh_comparison(
+    scale_factor: float = 0.002,
+    update_percentage: float = 0.05,
+    refresh_rounds: int = 2,
+) -> RefreshComparisonResult:
+    """Refresh the fig3/fig5 view sets through both differential paths.
+
+    For each view set, the same sequence of update batches is propagated
+    twice from identical database copies: once with the interpreted
+    ``differentiate`` (the PR-1 refresh path — full computations already
+    physical, differentials row-at-a-time and uncached) and once through the
+    vectorized :class:`~repro.engine.differential.DifferentialEngine` with
+    its per-round shared old-value cache.  After *every* refresh round each
+    path's views are verified against recomputation; a point only counts as
+    verified if every view passed every time.
+
+    Update batches are generated against a lock-step simulation of the base
+    tables, so both paths replay the identical δ+/δ− bags.
+    """
+    workloads: Dict[str, Dict[str, object]] = {
+        "fig3": {**queries.standalone_join_view(), **queries.standalone_agg_view()},
+        "fig5": queries.large_view_set(),
+    }
+    base = small_database(scale_factor=scale_factor)
+    result = RefreshComparisonResult(
+        experiment="refresh",
+        scale_factor=scale_factor,
+        update_percentage=update_percentage,
+    )
+
+    for workload, views in workloads.items():
+        involved = sorted({r for e in views.values() for r in base_relations(e)})
+        # Pre-generate one delta batch per refresh round against a base-table
+        # simulation evolved in lock step with the measured databases.
+        sim = base.copy()
+        batches: List[DeltaStore] = []
+        for round_number in range(refresh_rounds):
+            deltas = uniform_deltas(
+                sim, update_percentage, relations=involved, seed=1000 + round_number
+            )
+            batches.append(deltas)
+            for delta in deltas:
+                sim.apply_delta(delta)
+
+        timings: Dict[bool, float] = {}
+        verified = True
+        changes = 0
+        for vectorized in (False, True):
+            database = base.copy()
+            refresher = ViewRefresher(
+                database,
+                views,
+                use_physical=True,
+                vectorized_differentials=vectorized,
+            )
+            refresher.initialize_views()
+            elapsed = 0.0
+            for deltas in batches:
+                started = time.perf_counter()
+                report = refresher.refresh(deltas)
+                elapsed += time.perf_counter() - started
+                verified = verified and all(
+                    refresher.verify_against_recomputation().values()
+                )
+                if vectorized:
+                    changes += report.total_changes()
+            timings[vectorized] = elapsed
+
+        result.points.append(
+            RefreshComparisonPoint(
+                workload=workload,
+                views=len(views),
+                rounds=refresh_rounds,
+                changes=changes,
+                interpreted_seconds=timings[False],
+                vectorized_seconds=timings[True],
+                verified=verified,
             )
         )
     return result

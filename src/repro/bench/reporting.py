@@ -123,6 +123,63 @@ def execution_payload(result) -> Dict[str, Any]:
     }
 
 
+def refresh_payload(result) -> Dict[str, Any]:
+    """A JSON-serializable payload for a refresh-path comparison.
+
+    Accepts an :class:`repro.bench.experiments.RefreshComparisonResult`
+    (duck-typed, like :func:`execution_payload`).
+    """
+    return {
+        "experiment": result.experiment,
+        "scale_factor": result.scale_factor,
+        "update_percentage": result.update_percentage,
+        "total_interpreted_seconds": result.total_interpreted_seconds,
+        "total_vectorized_seconds": result.total_vectorized_seconds,
+        "overall_speedup": result.overall_speedup,
+        "all_verified": result.all_verified,
+        "points": [
+            {
+                "workload": p.workload,
+                "views": p.views,
+                "rounds": p.rounds,
+                "changes": p.changes,
+                "interpreted_seconds": p.interpreted_seconds,
+                "vectorized_seconds": p.vectorized_seconds,
+                "speedup": p.speedup,
+                "verified": p.verified,
+            }
+            for p in result.points
+        ],
+    }
+
+
+def format_refresh_comparison(result) -> str:
+    """Text table for a refresh-path comparison."""
+    table = format_table(
+        result.as_rows(),
+        [
+            "workload",
+            "views",
+            "rounds",
+            "changes",
+            "interpreted_ms",
+            "vectorized_ms",
+            "speedup",
+            "verified",
+        ],
+    )
+    summary = (
+        f"total: interpreted={result.total_interpreted_seconds * 1000.0:.1f}ms "
+        f"vectorized={result.total_vectorized_seconds * 1000.0:.1f}ms "
+        f"speedup={result.overall_speedup:.2f}x verified={result.all_verified}"
+    )
+    return (
+        f"{result.experiment}: vectorized differential engine vs interpreted "
+        f"differentials (scale factor {result.scale_factor}, "
+        f"{result.update_percentage:.0%} updates)\n{table}\n{summary}"
+    )
+
+
 def format_execution_comparison(result) -> str:
     """Text table for a physical-vs-interpreter comparison."""
     table = format_table(

@@ -55,6 +55,7 @@ class Catalog:
         self._tables: Dict[str, TableDef] = {}
         self._stats: Dict[str, TableStats] = {}
         self._indexes: Dict[str, List[IndexDef]] = {}
+        self._view_stats: Dict[str, TableStats] = {}
 
     # ------------------------------------------------------------------ tables
 
@@ -99,6 +100,10 @@ class Catalog:
         """Schema of a registered table."""
         return self.table(name).schema
 
+    def has_table_stats(self, name: str) -> bool:
+        """Whether ``name`` has declared or measured statistics recorded."""
+        return name in self._stats
+
     def stats(self, name: str) -> TableStats:
         """Statistics for a table; synthesizes defaults when none declared."""
         if name in self._stats:
@@ -140,6 +145,26 @@ class Catalog:
                 return True
         return False
 
+    # -------------------------------------------------------- view statistics
+
+    def register_view_stats(self, name: str, stats: TableStats) -> None:
+        """Attach or replace measured statistics for a materialized view.
+
+        Views are not registered tables (their schemas are derived, not
+        declared), so their statistics live in their own namespace; the
+        planner consults them when costing reuse of a stored view, and the
+        refresher keeps them current as view deltas are merged.
+        """
+        self._view_stats[name] = stats
+
+    def view_stats(self, name: str) -> Optional[TableStats]:
+        """Measured statistics for a materialized view, if recorded."""
+        return self._view_stats.get(name)
+
+    def drop_view_stats(self, name: str) -> None:
+        """Forget a view's statistics (when the view is dropped)."""
+        self._view_stats.pop(name, None)
+
     # ------------------------------------------------------------------- misc
 
     def foreign_keys(self) -> List[Tuple[str, str, str, str]]:
@@ -156,6 +181,7 @@ class Catalog:
         clone._tables = dict(self._tables)
         clone._stats = dict(self._stats)
         clone._indexes = {k: list(v) for k, v in self._indexes.items()}
+        clone._view_stats = dict(self._view_stats)
         return clone
 
     def scale_statistics(self, factor: float, tables: Optional[Iterable[str]] = None) -> None:

@@ -14,7 +14,12 @@ full recomputation.
 
 from repro.engine.database import Database
 from repro.engine.executor import evaluate
-from repro.engine.differential import ExpressionDelta, differentiate
+from repro.engine.differential import (
+    DifferentialEngine,
+    ExpressionDelta,
+    OldValueCache,
+    differentiate,
+)
 from repro.engine.physical import PhysicalExecutor, evaluate_physical
 from repro.engine import operators
 
@@ -23,6 +28,8 @@ __all__ = [
     "evaluate",
     "evaluate_physical",
     "PhysicalExecutor",
+    "DifferentialEngine",
+    "OldValueCache",
     "ExpressionDelta",
     "differentiate",
     "operators",

@@ -9,6 +9,7 @@ views against recomputation over the same database.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.catalog.catalog import Catalog, IndexDef
@@ -16,7 +17,11 @@ from repro.catalog.schema import Schema, TableDef
 from repro.catalog.statistics import TableStats
 from repro.storage.delta import Delta, DeltaKind
 from repro.storage.index import HashIndex, SortedIndex, build_index
-from repro.storage.relation import Relation
+from repro.storage.relation import Relation, Row
+
+#: Delta fraction beyond which a full index rebuild beats incremental
+#: maintenance (sorted-index splicing degrades towards re-sort cost).
+INCREMENTAL_INDEX_FRACTION = 0.25
 
 
 class DatabaseError(KeyError):
@@ -79,6 +84,10 @@ class Database:
         relation.name = name
         self._views[name] = relation
         self.rebuild_indexes(name)
+        # Cardinality is exact on every re-materialization; column
+        # distributions are measured once per view name (refreshing a
+        # temporary every round must not cost a full O(|view|) re-measure).
+        self.refresh_statistics(name, full=False)
 
     def view(self, name: str) -> Relation:
         """Fetch a materialized view's contents."""
@@ -94,6 +103,7 @@ class Database:
     def drop_view(self, name: str) -> None:
         """Discard a materialized view (used for temporary materializations)."""
         self._views.pop(name, None)
+        self.catalog.drop_view_stats(name)
         for key in [k for k in self._indexes if k[0] == name]:
             del self._indexes[key]
 
@@ -134,19 +144,20 @@ class Database:
     # ------------------------------------------------------------------ deltas
 
     def apply_update(self, relation: str, kind: DeltaKind, delta_rows: Relation) -> None:
-        """Apply one single-relation update (insert or delete bag) to a base table."""
+        """Apply one single-relation update (insert or delete bag) to a base table.
+
+        Indexes on the relation are maintained from the delta bag instead of
+        being rebuilt from scratch: insert positions are appended, delete
+        positions remapped.  A full rebuild only happens as fallback when the
+        delta is large relative to the relation (splice cost approaches
+        rebuild cost) or an index cannot be maintained incrementally.
+        """
         current = self.table(relation)
         if kind is DeltaKind.INSERT:
-            updated = current.union_all(delta_rows)
+            self._apply_insert(relation, current, delta_rows)
         else:
-            updated = current.difference(delta_rows)
-        updated.name = relation
-        if relation in self._tables:
-            self._tables[relation] = updated
-        else:
-            self._views[relation] = updated
-        self.rebuild_indexes(relation)
-        self.refresh_statistics(relation)
+            self._apply_delete(relation, current, delta_rows)
+        self.refresh_statistics(relation, full=False)
 
     def apply_delta(self, delta: Delta) -> None:
         """Apply a full delta (inserts then deletes) to a base table."""
@@ -161,18 +172,129 @@ class Database:
         inserts: Optional[Relation] = None,
         deletes: Optional[Relation] = None,
     ) -> None:
-        """Merge a computed view differential into the stored view (V ← V − δ− ∪ δ+)."""
+        """Merge a computed view differential into the stored view (V ← V − δ− ∪ δ+).
+
+        Like :meth:`apply_update`, view indexes are maintained from the delta
+        bags rather than rebuilt, and the view's catalog statistics are
+        refreshed so reuse costing never reads a stale cardinality.
+        """
         current = self.view(name)
-        self._views[name] = current.apply_delta(inserts=inserts, deletes=deletes)
-        self.rebuild_indexes(name)
+        if deletes is not None and len(deletes):
+            current = self._apply_delete(name, current, deletes)
+        if inserts is not None and len(inserts):
+            current = self._apply_insert(name, current, inserts)
+        self.refresh_statistics(name, full=False)
+
+    # ------------------------------------------------- incremental update steps
+
+    def _store(self, name: str, relation: Relation) -> None:
+        if name in self._tables:
+            self._tables[name] = relation
+        else:
+            self._views[name] = relation
+
+    def _indexes_on(self, name: str) -> List[Tuple[Tuple[str, Tuple[str, ...], str], object]]:
+        return [(key, built) for key, built in self._indexes.items() if key[0] == name]
+
+    def _apply_insert(self, name: str, current: Relation, delta_rows: Relation) -> Relation:
+        """Append an insert bag; index the appended tail incrementally."""
+        if len(current.schema) != len(delta_rows.schema):
+            raise ValueError(
+                f"incompatible schemas: {current.schema.names} vs {delta_rows.schema.names}"
+            )
+        updated = Relation.from_trusted_rows(
+            current.schema, current.rows + delta_rows.rows, name
+        )
+        self._store(name, updated)
+        entries = self._indexes_on(name)
+        if entries:
+            if len(delta_rows) > INCREMENTAL_INDEX_FRACTION * max(1, len(current)):
+                self.rebuild_indexes(name)
+            else:
+                try:
+                    for _, built in entries:
+                        built.apply_insert(updated, len(current.rows))
+                except Exception:
+                    # e.g. un-orderable keys a sorted index cannot splice.
+                    self.rebuild_indexes(name)
+        return updated
+
+    def _apply_delete(self, name: str, current: Relation, delta_rows: Relation) -> Relation:
+        """Remove a delete bag (one copy per match) and remap index positions."""
+        if len(current.schema) != len(delta_rows.schema):
+            raise ValueError(
+                f"incompatible schemas: {current.schema.names} vs {delta_rows.schema.names}"
+            )
+        entries = self._indexes_on(name)
+        remaining = Counter(delta_rows.rows)
+        get = remaining.get
+        kept: List[Row] = []
+        append = kept.append
+        if not entries:
+            # No indexes to remap: plain bag difference, no position tracking.
+            for row in current.rows:
+                if get(row, 0) > 0:
+                    remaining[row] -= 1
+                else:
+                    append(row)
+            updated = Relation.from_trusted_rows(current.schema, kept, name)
+            self._store(name, updated)
+            return updated
+        old_to_new: List[Optional[int]] = []
+        for row in current.rows:
+            if get(row, 0) > 0:
+                remaining[row] -= 1
+                old_to_new.append(None)
+            else:
+                old_to_new.append(len(kept))
+                append(row)
+        updated = Relation.from_trusted_rows(current.schema, kept, name)
+        self._store(name, updated)
+        removed = len(current.rows) - len(kept)
+        try:
+            if removed == 0:
+                for _, built in entries:
+                    built.retarget(updated)
+            else:
+                for _, built in entries:
+                    built.apply_delete(updated, old_to_new)
+        except Exception:
+            self.rebuild_indexes(name)
+        return updated
 
     # ------------------------------------------------------------- statistics
 
-    def refresh_statistics(self, name: str) -> None:
-        """Re-measure catalog statistics for a loaded base table."""
+    def refresh_statistics(self, name: str, full: bool = True) -> None:
+        """Refresh catalog statistics for a loaded base table or view.
+
+        With ``full`` set (table loads, first sighting of a relation) the
+        statistics are measured from scratch.  The delta paths pass
+        ``full=False``: the cardinality — which drives the cost model's
+        scan/reuse/materialize formulas — is updated exactly (clamping
+        per-column distinct counts), while column distributions keep their
+        last full measurement, the classic ANALYZE trade-off that keeps
+        statistics maintenance O(1) per update instead of O(|relation|).
+        """
         if name in self._tables and self.catalog.has_table(name):
             relation = self._tables[name]
-            self.catalog.register_table_stats(name, TableStats.from_relation(relation))
+            existing = (
+                self.catalog.stats(name)
+                if not full and self.catalog.has_table_stats(name)
+                else None
+            )
+            if existing is None:
+                stats = TableStats.from_relation(relation)
+            else:
+                stats = existing.with_cardinality(float(len(relation)))
+            self.catalog.register_table_stats(name, stats)
+        elif name in self._views:
+            relation = self._views[name]
+            existing = None if full else self.catalog.view_stats(name)
+            if existing is None:
+                stats = TableStats.from_relation(relation)
+            else:
+                stats = existing.with_cardinality(float(len(relation)))
+            self.catalog.register_view_stats(name, stats)
 
     def copy(self) -> "Database":
         """Deep-enough copy: tuple bags are copied, catalog is shared copy."""

@@ -22,8 +22,8 @@ old-vs-new comparison of their (usually small) inputs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.algebra.expressions import (
     Aggregate,
@@ -43,7 +43,7 @@ from repro.engine import operators
 from repro.engine.database import Database
 from repro.engine.executor import MaterializedRegistry, evaluate
 from repro.storage.delta import DeltaKind
-from repro.storage.relation import Relation
+from repro.storage.relation import Relation, Row
 
 
 @dataclass
@@ -252,3 +252,391 @@ def differentiate(
         )
 
     return recurse(expression)
+
+
+# --------------------------------------------------------------- refresh engine
+
+@dataclass
+class OldValueCache:
+    """Shared evaluation state for one single-relation update round.
+
+    The paper's maintenance plans share temporary results across the views of
+    a refresh (§3.1/§5.3); this cache is the execution-time counterpart for
+    the differential engine.  Within one round — one base relation, one
+    update kind, one fixed pre-update database state — the following are
+    functions of the expression alone, so they are memoized by canonical
+    form and shared across every view the round refreshes:
+
+    * ``old`` — old (pre-update) results of sub-expressions,
+    * ``new`` — old results with the sub-expression's own differential
+      applied,
+    * ``deltas`` — the differentials of sub-expressions themselves (the
+      double ``old(node.left)`` of the Difference/Distinct rules and the
+      repeated sub-join deltas of shared view sets hit this),
+    * ``builds`` — hash-join bucket tables over old/new inputs, keyed by
+      (role, canonical form, join positions), so δ+ and δ− probes of every
+      view share one build.
+
+    A cache instance is only valid while the database holds the round's
+    pre-update state.  The refresher carries one cache across the rounds of
+    a refresh, calling :meth:`advance_round` after each base update: old
+    values (and their builds) whose expressions do not depend on the
+    just-updated relation are still exact and survive into later rounds;
+    everything else is invalidated.
+    """
+
+    old: Dict[str, Relation] = field(default_factory=dict)
+    new: Dict[str, Relation] = field(default_factory=dict)
+    deltas: Dict[str, ExpressionDelta] = field(default_factory=dict)
+    builds: Dict[Tuple[str, str, Tuple[int, ...]], Dict[Any, List[Row]]] = field(
+        default_factory=dict
+    )
+    #: Base relations each cached canonical form depends on — the
+    #: invalidation key for cross-round survival.
+    dependencies: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def advance_round(self, updated_relation: str) -> None:
+        """Invalidate what a just-applied update to ``updated_relation`` staled.
+
+        Differentials and new values are functions of the round's specific
+        update, so they are always cleared.  Old values and old-input hash
+        builds survive unless their expression depends on the updated
+        relation — the cross-round analogue of the paper's shared temporary
+        results (a sub-expression untouched by update ``i`` need not be
+        re-derived for update ``i+1``).
+        """
+        self.deltas.clear()
+        self.new.clear()
+        stale = {
+            canonical
+            for canonical, relations in self.dependencies.items()
+            if updated_relation in relations
+        }
+        for canonical in stale:
+            self.old.pop(canonical, None)
+            del self.dependencies[canonical]
+        self.builds = {
+            key: build
+            for key, build in self.builds.items()
+            if key[0] == "old" and key[1] not in stale
+        }
+
+
+class DifferentialEngine:
+    """Vectorized differential computation over the physical layer.
+
+    Produces the exact insert/delete bags of :func:`differentiate` (which
+    remains the correctness oracle) but executes them at batch speed:
+
+    * old/new sub-expression results are evaluated through
+      :class:`~repro.engine.physical.PhysicalExecutor` — optimizer-chosen
+      plans over the columnar batch kernels — instead of the row-at-a-time
+      interpreter;
+    * δ-select/δ-project/δ-join run through the delta kernels of
+      :mod:`repro.engine.operators`, which share one predicate compilation /
+      projection resolution / hash build between the δ+ and δ− bags;
+    * everything is memoized in a per-round :class:`OldValueCache`, shared
+      across all views of a single-relation update round.
+    """
+
+    def __init__(self, database: Database, physical=None) -> None:
+        self.database = database
+        if physical is None:
+            from repro.engine.physical import PhysicalExecutor
+
+            physical = PhysicalExecutor(database)
+        self.physical = physical
+        #: Engine-lifetime memos for immutable per-expression facts.  Keyed by
+        #: object identity with the node kept alive alongside, so ids cannot
+        #: be recycled while a memo entry exists.
+        self._canonicals: Dict[int, Tuple[Expression, str]] = {}
+        self._schemas: Dict[str, Schema] = {}
+        self._relations: Dict[str, FrozenSet[str]] = {}
+
+    # ------------------------------------------------------------------ memos
+
+    def _canonical(self, node: Expression) -> str:
+        entry = self._canonicals.get(id(node))
+        if entry is None or entry[0] is not node:
+            entry = (node, node.canonical())
+            self._canonicals[id(node)] = entry
+        return entry[1]
+
+    def _schema(self, node: Expression) -> Schema:
+        key = self._canonical(node)
+        schema = self._schemas.get(key)
+        if schema is None:
+            schema = derive_schema(node, self.database.catalog)
+            self._schemas[key] = schema
+        return schema
+
+    def _base_relations(self, node: Expression) -> FrozenSet[str]:
+        key = self._canonical(node)
+        relations = self._relations.get(key)
+        if relations is None:
+            relations = base_relations(node)
+            self._relations[key] = relations
+        return relations
+
+    # -------------------------------------------------------------- entry point
+
+    def differentiate(
+        self,
+        expression: Expression,
+        relation: str,
+        kind: DeltaKind,
+        delta_rows: Relation,
+        materialized: Optional[MaterializedRegistry] = None,
+        cache: Optional[OldValueCache] = None,
+    ) -> ExpressionDelta:
+        """Compute ``expression``'s differential w.r.t. one base update.
+
+        Mirrors :func:`differentiate` (the database must hold the pre-update
+        state); ``cache`` carries shared old values across the views of one
+        update round and must not outlive the round.
+        """
+        cache = cache if cache is not None else OldValueCache()
+
+        def old(expr: Expression) -> Relation:
+            key = self._canonical(expr)
+            result = cache.old.get(key)
+            if result is None:
+                cache.misses += 1
+                result = self.physical.evaluate(expr, materialized)
+                cache.old[key] = result
+                cache.dependencies[key] = self._base_relations(expr)
+            else:
+                cache.hits += 1
+            return result
+
+        def new(expr: Expression, delta: Optional[ExpressionDelta]) -> Relation:
+            if delta is None or delta.is_empty:
+                return old(expr)
+            key = self._canonical(expr)
+            result = cache.new.get(key)
+            if result is None:
+                result = old(expr).apply_delta(inserts=delta.inserts, deletes=delta.deletes)
+                cache.new[key] = result
+            return result
+
+        def build_for(role: str, expr: Expression, source: Relation, positions) -> Dict:
+            key = (role, self._canonical(expr), tuple(positions))
+            build = cache.builds.get(key)
+            if build is None:
+                build = operators.hash_build(source, positions)
+                cache.builds[key] = build
+            return build
+
+        def recurse(node: Expression) -> ExpressionDelta:
+            schema = self._schema(node)
+            if relation not in self._base_relations(node):
+                return ExpressionDelta.empty(schema)
+            key = self._canonical(node)
+            cached = cache.deltas.get(key)
+            if cached is not None:
+                cache.hits += 1
+                return cached
+            result = compute(node, schema)
+            cache.deltas[key] = result
+            return result
+
+        def compute(node: Expression, schema: Schema) -> ExpressionDelta:
+            if isinstance(node, BaseRelation):
+                if node.name != relation:
+                    return ExpressionDelta.empty(schema)
+                empty = Relation(schema, [])
+                bag = Relation.from_trusted_rows(schema, list(delta_rows.rows))
+                if kind is DeltaKind.INSERT:
+                    return ExpressionDelta(bag, empty)
+                return ExpressionDelta(empty, bag)
+
+            if isinstance(node, Select):
+                child = recurse(node.child)
+                inserts, deletes = operators.delta_select_batch(
+                    child.inserts, child.deletes, node.predicate
+                )
+                return ExpressionDelta(inserts, deletes)
+
+            if isinstance(node, Project):
+                child = recurse(node.child)
+                inserts, deletes = operators.delta_project_batch(
+                    child.inserts, child.deletes, node.columns
+                )
+                return ExpressionDelta(inserts, deletes)
+
+            if isinstance(node, Join):
+                return join_delta(node, schema)
+
+            if isinstance(node, Aggregate):
+                return aggregate_delta(node, schema)
+
+            if isinstance(node, UnionAll):
+                parts = [recurse(i) for i in node.inputs]
+                inserts = [r for p in parts for r in p.inserts.rows]
+                deletes = [r for p in parts for r in p.deletes.rows]
+                return ExpressionDelta(
+                    Relation.from_trusted_rows(schema, inserts),
+                    Relation.from_trusted_rows(schema, deletes),
+                )
+
+            if isinstance(node, Difference):
+                # Same old-vs-new comparison as the oracle; old/new inputs
+                # come from the shared cache, so the double evaluation the
+                # interpreted rule pays is amortized across the round.
+                left_delta = recurse(node.left)
+                right_delta = recurse(node.right)
+                old_result = old(node.left).difference(old(node.right))
+                new_result = new(node.left, left_delta).difference(
+                    new(node.right, right_delta)
+                )
+                return ExpressionDelta(
+                    new_result.difference(old_result), old_result.difference(new_result)
+                )
+
+            if isinstance(node, Distinct):
+                child_delta = recurse(node.child)
+                old_result = old(node.child).distinct()
+                new_result = new(node.child, child_delta).distinct()
+                return ExpressionDelta(
+                    new_result.difference(old_result), old_result.difference(new_result)
+                )
+
+            raise TypeError(f"unknown expression type {type(node).__name__}")
+
+        def join_delta(node: Join, schema: Schema) -> ExpressionDelta:
+            left_dep = relation in self._base_relations(node.left)
+            right_dep = relation in self._base_relations(node.right)
+            left_delta = recurse(node.left) if left_dep else None
+            right_delta = recurse(node.right) if right_dep else None
+
+            insert_rows: List[Row] = []
+            delete_rows: List[Row] = []
+            # δ_left ⋈ OLD right: one build over the old right input, probed
+            # by both delta bags (and by every view sharing this sub-join).
+            if left_delta is not None and not left_delta.is_empty:
+                old_right = old(node.right)
+                delta_schema = left_delta.inserts.schema
+                _, right_pos = operators._join_positions(
+                    delta_schema, old_right.schema, node.conditions
+                )
+                build = (
+                    build_for("old", node.right, old_right, right_pos)
+                    if node.conditions
+                    else None
+                )
+                ins, dels = operators.delta_hash_join_batch(
+                    left_delta.inserts,
+                    left_delta.deletes,
+                    old_right,
+                    node.conditions,
+                    node.residual,
+                    delta_side="left",
+                    build=build,
+                )
+                insert_rows.extend(ins.rows)
+                delete_rows.extend(dels.rows)
+            # NEW left ⋈ δ_right (paper §5.3: (δE1 ⋈ E2) ∪ ((E1 ∪ δE1) ⋈ δE2)).
+            if right_delta is not None and not right_delta.is_empty:
+                new_left = new(node.left, left_delta)
+                delta_schema = right_delta.inserts.schema
+                left_pos, _ = operators._join_positions(
+                    new_left.schema, delta_schema, node.conditions
+                )
+                role = "new" if (left_delta is not None and not left_delta.is_empty) else "old"
+                build = (
+                    build_for(role, node.left, new_left, left_pos)
+                    if node.conditions
+                    else None
+                )
+                ins, dels = operators.delta_hash_join_batch(
+                    right_delta.inserts,
+                    right_delta.deletes,
+                    new_left,
+                    node.conditions,
+                    node.residual,
+                    delta_side="right",
+                    build=build,
+                )
+                insert_rows.extend(ins.rows)
+                delete_rows.extend(dels.rows)
+
+            return ExpressionDelta(
+                Relation.from_trusted_rows(schema, insert_rows),
+                Relation.from_trusted_rows(schema, delete_rows),
+            )
+
+        def aggregate_delta(node: Aggregate, schema: Schema) -> ExpressionDelta:
+            child_delta = recurse(node.child)
+            if child_delta.is_empty:
+                return ExpressionDelta.empty(schema)
+
+            child_schema = self._schema(node.child)
+            group_pos = child_schema.positions(node.group_by)
+
+            affected: Set[Tuple] = set()
+            for row in child_delta.inserts.rows:
+                affected.add(tuple(row[i] for i in group_pos))
+            for row in child_delta.deletes.rows:
+                affected.add(tuple(row[i] for i in group_pos))
+
+            def restrict(rel: Relation) -> Relation:
+                if not node.group_by:
+                    return rel
+                positions = rel.schema.positions(node.group_by)
+                if len(positions) == 1:
+                    i = positions[0]
+                    keys = {k[0] for k in affected}
+                    kept = [r for r in rel.rows if r[i] in keys]
+                else:
+                    kept = [
+                        r for r in rel.rows if tuple(r[i] for i in positions) in affected
+                    ]
+                return Relation.from_trusted_rows(rel.schema, kept, rel.name)
+
+            # Old aggregate rows for the affected groups: read from the
+            # stored view when this exact node is materialized, else
+            # recomputed from the old child restricted to those groups.
+            view_name = materialized.lookup(node) if materialized is not None else None
+            if view_name is not None and self.database.has_view(view_name):
+                old_agg = restrict(self.database.view(view_name))
+                if not node.group_by:
+                    old_agg = Relation(old_agg.schema, list(old_agg.rows))
+            else:
+                old_agg = operators.aggregate_batch(
+                    restrict(old(node.child)), node.group_by, node.aggregates
+                )
+
+            new_agg = operators.aggregate_batch(
+                restrict(new(node.child, child_delta)), node.group_by, node.aggregates
+            )
+
+            inserts = new_agg.difference(old_agg)
+            deletes = old_agg.difference(new_agg)
+            return ExpressionDelta(
+                Relation.from_trusted_rows(schema, list(inserts.rows)),
+                Relation.from_trusted_rows(schema, list(deletes.rows)),
+            )
+
+        return recurse(expression)
+
+
+class DifferentialMismatch(AssertionError):
+    """Raised when the vectorized engine disagrees with the interpreted oracle."""
+
+
+def verify_differential(
+    engine_delta: ExpressionDelta, oracle_delta: ExpressionDelta, context: str = ""
+) -> None:
+    """Assert two differentials carry the same insert and delete bags."""
+    if not engine_delta.inserts.same_bag(oracle_delta.inserts):
+        raise DifferentialMismatch(
+            f"insert bags diverge{f' for {context}' if context else ''}: "
+            f"engine={len(engine_delta.inserts)} rows, oracle={len(oracle_delta.inserts)} rows"
+        )
+    if not engine_delta.deletes.same_bag(oracle_delta.deletes):
+        raise DifferentialMismatch(
+            f"delete bags diverge{f' for {context}' if context else ''}: "
+            f"engine={len(engine_delta.deletes)} rows, oracle={len(oracle_delta.deletes)} rows"
+        )

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
+from operator import itemgetter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.algebra.expressions import AggregateFunc, AggregateSpec
@@ -228,6 +229,138 @@ def hash_join_batch(
             for rrow in get(tuple(lrow[i] for i in left_pos), empty)
         ]
     return Relation.from_trusted_rows(schema, _residual_filter(out, schema, residual))
+
+
+# ------------------------------------------------------------- delta kernels
+#
+# Differential maintenance evaluates the *same* operator over the insert and
+# delete bags of a differential (δ+ and δ−).  These kernels run both bags
+# through one shared setup — one compiled predicate, one resolved projection,
+# one hash build over the non-delta join input — so the per-round cost is
+# paid once instead of once per bag (and, via the caller-supplied ``build``,
+# once per refresh round instead of once per view).
+
+def hash_build(relation: Relation, positions: Sequence[int]) -> Dict[Any, List[Row]]:
+    """Key → rows bucket table over ``positions`` (scalar key when single).
+
+    The delta join kernels probe this table; callers that join several delta
+    bags against the same input (or share one input across views, as the
+    refresh engine's old-value cache does) build it once and pass it in.
+    """
+    buckets: Dict[Any, List[Row]] = {}
+    setdefault = buckets.setdefault
+    if len(positions) == 1:
+        i = positions[0]
+        for row in relation.rows:
+            setdefault(row[i], []).append(row)
+    else:
+        for row in relation.rows:
+            setdefault(tuple(row[i] for i in positions), []).append(row)
+    return buckets
+
+
+def delta_select_batch(
+    inserts: Relation, deletes: Relation, predicate: Predicate
+) -> Tuple[Relation, Relation]:
+    """δ-σ: filter both bags of a differential with one compiled predicate."""
+    schema = inserts.schema
+    fn = compile_predicate(predicate, schema)
+    return (
+        Relation.from_trusted_rows(schema, [r for r in inserts.rows if fn(r)]),
+        Relation.from_trusted_rows(schema, [r for r in deletes.rows if fn(r)]),
+    )
+
+
+def delta_project_batch(
+    inserts: Relation, deletes: Relation, columns: Sequence[str]
+) -> Tuple[Relation, Relation]:
+    """δ-π: project both bags of a differential (positions resolved once)."""
+    idxs = inserts.schema.positions(columns)
+    schema = inserts.schema.project(columns)
+    if len(idxs) == 1:
+        i = idxs[0]
+        ins = [(row[i],) for row in inserts.rows]
+        dels = [(row[i],) for row in deletes.rows]
+    else:
+        getter = itemgetter(*idxs)
+        ins = [getter(row) for row in inserts.rows]
+        dels = [getter(row) for row in deletes.rows]
+    return (
+        Relation.from_trusted_rows(schema, ins),
+        Relation.from_trusted_rows(schema, dels),
+    )
+
+
+def delta_hash_join_batch(
+    inserts: Relation,
+    deletes: Relation,
+    other: Relation,
+    conditions: Sequence[Tuple[str, str]] = (),
+    residual: Optional[Predicate] = None,
+    delta_side: str = "left",
+    build: Optional[Dict[Any, List[Row]]] = None,
+) -> Tuple[Relation, Relation]:
+    """δ-⋈: join both bags of a differential against one shared input.
+
+    ``delta_side`` names which logical join operand the delta bags stand in
+    for (``"left"`` or ``"right"``); output column order is always
+    left ++ right, matching :func:`hash_join`.  The hash build always goes
+    over ``other`` — the non-delta input — so it is constructed once per
+    call regardless of which side the delta is on (plain ``hash_join`` would
+    build over ``other`` twice for a left-side delta, and probe it twice
+    for a right-side one).  A caller that already holds a bucket table for
+    ``other`` keyed on the join columns can pass it as ``build``.
+    """
+    delta_schema = inserts.schema
+    if delta_side == "left":
+        schema = delta_schema.concat(other.schema)
+        delta_pos, other_pos = _join_positions(delta_schema, other.schema, conditions)
+    else:
+        schema = other.schema.concat(delta_schema)
+        other_pos, delta_pos = _join_positions(other.schema, delta_schema, conditions)
+
+    if not conditions:
+        orows = other.rows
+
+        def cross(bag: Relation) -> Relation:
+            if delta_side == "left":
+                rows = [drow + orow for drow in bag.rows for orow in orows]
+            else:
+                rows = [orow + drow for drow in bag.rows for orow in orows]
+            return Relation.from_trusted_rows(schema, _residual_filter(rows, schema, residual))
+
+        return cross(inserts), cross(deletes)
+
+    if build is None:
+        build = hash_build(other, other_pos)
+    get = build.get
+    empty: Tuple[Row, ...] = ()
+    single = len(delta_pos) == 1
+
+    def probe(bag: Relation) -> Relation:
+        brows = bag.rows
+        if single:
+            di = delta_pos[0]
+            if delta_side == "left":
+                rows = [drow + orow for drow in brows for orow in get(drow[di], empty)]
+            else:
+                rows = [orow + drow for drow in brows for orow in get(drow[di], empty)]
+        else:
+            if delta_side == "left":
+                rows = [
+                    drow + orow
+                    for drow in brows
+                    for orow in get(tuple(drow[i] for i in delta_pos), empty)
+                ]
+            else:
+                rows = [
+                    orow + drow
+                    for drow in brows
+                    for orow in get(tuple(drow[i] for i in delta_pos), empty)
+                ]
+        return Relation.from_trusted_rows(schema, _residual_filter(rows, schema, residual))
+
+    return probe(inserts), probe(deletes)
 
 
 def _null_safe_key(values: Tuple[Any, ...]) -> Tuple[Tuple[bool, Any], ...]:

@@ -746,6 +746,14 @@ class PhysicalExecutor:
                 if view_name is not None and self.database.has_view(view_name):
                     materialized_ids.add(node.id)
                     node.view_name = node.view_name or view_name
+                    # Reuse costing works off the node's statistics; when the
+                    # stored view has *measured* stats (kept current by the
+                    # refresher as deltas merge), they replace the derived
+                    # estimate, so reuse-vs-recompute decisions track the
+                    # view's actual size instead of a stale estimate.
+                    measured = catalog.view_stats(view_name)
+                    if measured is not None:
+                        node.stats = measured
         search = VolcanoSearch(dag, catalog, self.cost_model)
         outcome = search.optimize(materialized=materialized_ids)
         plan = outcome.extract_plan(dag.roots["__physical__"].id)

@@ -9,9 +9,17 @@ it) yields the same bags as recomputing the views from scratch on the
 updated database.
 
 The refresher can also *temporarily materialize* shared sub-expressions
-chosen by the greedy algorithm: they are computed once per single-relation
-update round, registered so every view's differential computation reuses
-them, and discarded at the end of the refresh.
+chosen by the greedy algorithm: they are registered so every view's
+differential computation reuses them, recomputed only when a base update
+actually invalidates them, and discarded at the end of the refresh.
+
+Differentials run through the vectorized
+:class:`~repro.engine.differential.DifferentialEngine` by default, sharing
+old values, sub-expression deltas and hash builds across all views of an
+update round (and across rounds, until invalidated) via an
+:class:`~repro.engine.differential.OldValueCache`; the interpreted
+:func:`~repro.engine.differential.differentiate` remains available as the
+fallback path and as the oracle ``verify_differentials`` checks against.
 """
 
 from __future__ import annotations
@@ -21,7 +29,12 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.algebra.expressions import Expression, base_relations
 from repro.engine.database import Database
-from repro.engine.differential import differentiate
+from repro.engine.differential import (
+    DifferentialEngine,
+    OldValueCache,
+    differentiate,
+    verify_differential,
+)
 from repro.engine.executor import MaterializedRegistry, evaluate
 from repro.engine.physical import PhysicalExecutor
 from repro.storage.delta import Delta, DeltaKind, DeltaStore
@@ -65,6 +78,8 @@ class ViewRefresher:
         temporary_subexpressions: Optional[Mapping[str, Expression]] = None,
         recompute_views: Optional[Iterable[str]] = None,
         use_physical: bool = True,
+        vectorized_differentials: Optional[bool] = None,
+        verify_differentials: bool = False,
     ) -> None:
         self.database = database
         self.views: Dict[str, Expression] = dict(views)
@@ -77,6 +92,23 @@ class ViewRefresher:
         #: the logical interpreter remains the verification oracle.
         self.use_physical = use_physical
         self._physical = PhysicalExecutor(database) if use_physical else None
+        #: Differentials run through the vectorized engine (delta kernels +
+        #: per-round old-value cache shared across views) by default whenever
+        #: the physical layer is on; the interpreted ``differentiate`` stays
+        #: available both as the fallback path and as the oracle that
+        #: ``verify_differentials`` checks every computed delta against.
+        if vectorized_differentials is None:
+            vectorized_differentials = use_physical
+        self.vectorized_differentials = vectorized_differentials
+        self.verify_differentials = verify_differentials
+        self._diff_engine = (
+            DifferentialEngine(database, physical=self._physical)
+            if vectorized_differentials
+            else None
+        )
+        #: Temporaries whose materialization no longer reflects the current
+        #: base-table state (set when a relation they depend on is updated).
+        self._stale_temporaries: Dict[str, bool] = {}
         self.registry = MaterializedRegistry()
         for name, expression in self.views.items():
             # Views refreshed by recomputation are left stale until the end of
@@ -115,6 +147,11 @@ class ViewRefresher:
         incremental_views = {
             name: expr for name, expr in self.views.items() if name not in self.recompute_views
         }
+        # One old-value cache spans the whole refresh: within a round, shared
+        # sub-expressions (and their hash builds) evaluate once across all
+        # views; across rounds, entries survive until a base update actually
+        # invalidates them (advance_round's dependency check).
+        round_cache = OldValueCache() if self._diff_engine is not None else None
 
         for update in deltas.update_ids(only_nonempty=True):
             delta_rows = deltas.relation_delta(update.relation, update.kind)
@@ -126,13 +163,8 @@ class ViewRefresher:
             for name, expression in incremental_views.items():
                 if update.relation not in base_relations(expression):
                     continue
-                changes[name] = differentiate(
-                    expression,
-                    self.database,
-                    update.relation,
-                    update.kind,
-                    delta_rows,
-                    materialized=self.registry,
+                changes[name] = self._differentiate(
+                    expression, update.relation, update.kind, delta_rows, round_cache, name
                 )
             for name, change in changes.items():
                 self.database.update_view(name, inserts=change.inserts, deletes=change.deletes)
@@ -145,8 +177,10 @@ class ViewRefresher:
                         deleted=len(change.deletes),
                     )
                 )
-            self._drop_temporaries()
             self.database.apply_update(update.relation, update.kind, delta_rows)
+            self._flag_stale_temporaries(update.relation)
+            if round_cache is not None:
+                round_cache.advance_round(update.relation)
 
         # Views maintained by recomputation are rebuilt once, at the end,
         # against the fully updated database.
@@ -154,25 +188,104 @@ class ViewRefresher:
             if name in self.views:
                 self.database.materialize_view(name, self._compute(self.views[name]))
                 report.recomputed_views.append(name)
+        self._drop_all_temporaries()
         return report
+
+    # ------------------------------------------------------------ differentials
+
+    def _differentiate(
+        self,
+        expression: Expression,
+        relation: str,
+        kind: DeltaKind,
+        delta_rows: Relation,
+        round_cache: Optional[OldValueCache],
+        view_name: str,
+    ):
+        """One view's differential, through the configured engine.
+
+        With ``verify_differentials`` set, the vectorized result is checked
+        bag-for-bag against the interpreted oracle before it is trusted.
+        """
+        if self._diff_engine is None:
+            return differentiate(
+                expression,
+                self.database,
+                relation,
+                kind,
+                delta_rows,
+                materialized=self.registry,
+            )
+        change = self._diff_engine.differentiate(
+            expression,
+            relation,
+            kind,
+            delta_rows,
+            materialized=self.registry,
+            cache=round_cache,
+        )
+        if self.verify_differentials:
+            oracle = differentiate(
+                expression,
+                self.database,
+                relation,
+                kind,
+                delta_rows,
+                materialized=self.registry,
+            )
+            verify_differential(change, oracle, context=view_name)
+        return change
 
     # -------------------------------------------------------------- temporaries
 
     def _materialize_temporaries(self, relation: str) -> None:
-        """(Re)compute temporary shared results relevant to this update round.
+        """(Re)compute the temporary shared results this update round needs.
 
-        A temporary result is only useful to a differential computation while
-        it reflects the *pre-update* state, so temporaries are recomputed at
-        the start of each single-relation update round and dropped at its end.
+        A temporary is only useful while it reflects the round's *pre-update*
+        state, which a materialization from an earlier round still does as
+        long as no relation its expression depends on has been updated since
+        (the ``_stale_temporaries`` flags track exactly that).  Only missing
+        or stale temporaries are recomputed — not, as the old behavior had
+        it, every temporary on every round.
+
+        Stale materializations are dropped (and unregistered) *before* any
+        recomputation: a registered stale view would short-circuit its own
+        recomputation — and poison any other temporary computed from it —
+        through the registry lookup in the evaluators.
         """
+        dropped = False
         for name, expression in self.temporaries.items():
+            if self._stale_temporaries.get(name) and self.database.has_view(name):
+                self.database.drop_view(name)
+                self.registry.unregister(expression)
+                dropped = True
+        if dropped:
+            self._reregister_views()
+        for name, expression in self.temporaries.items():
+            if self.database.has_view(name):
+                continue
             self.database.materialize_view(name, self._compute(expression, self.registry))
             self.registry.register(expression, name)
+            self._stale_temporaries[name] = False
 
-    def _drop_temporaries(self) -> None:
+    def _flag_stale_temporaries(self, relation: str) -> None:
+        """Mark the temporaries a just-applied base update invalidated."""
         for name, expression in self.temporaries.items():
-            self.database.drop_view(name)
+            if relation in base_relations(expression):
+                self._stale_temporaries[name] = True
+
+    def _drop_all_temporaries(self) -> None:
+        """Discard every remaining temporary at the end of a refresh."""
+        if not self.temporaries:
+            return
+        for name, expression in self.temporaries.items():
+            if self.database.has_view(name):
+                self.database.drop_view(name)
             self.registry.unregister(expression)
+            self._stale_temporaries[name] = True
+        self._reregister_views()
+
+    def _reregister_views(self) -> None:
         # Re-register the incrementally maintained views in case a temporary
         # shared the canonical form of one of them.
         for name, expression in self.views.items():
@@ -197,6 +310,8 @@ def apply_and_refresh(
     temporary_subexpressions: Optional[Mapping[str, Expression]] = None,
     recompute_views: Optional[Iterable[str]] = None,
     use_physical: bool = True,
+    vectorized_differentials: Optional[bool] = None,
+    verify_differentials: bool = False,
 ) -> Tuple[RefreshReport, Dict[str, bool]]:
     """Convenience wrapper: refresh the views and verify them against recomputation."""
     refresher = ViewRefresher(
@@ -205,6 +320,8 @@ def apply_and_refresh(
         temporary_subexpressions=temporary_subexpressions,
         recompute_views=recompute_views,
         use_physical=use_physical,
+        vectorized_differentials=vectorized_differentials,
+        verify_differentials=verify_differentials,
     )
     if not all(database.has_view(name) for name in views):
         refresher.initialize_views()

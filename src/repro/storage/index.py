@@ -43,6 +43,48 @@ class HashIndex:
         """Row positions matching ``key`` (used by delete maintenance)."""
         return list(self._buckets.get(tuple(key), []))
 
+    # ------------------------------------------------------ delta maintenance
+
+    def retarget(self, relation: Relation) -> None:
+        """Point the index at a replacement relation with identical rows.
+
+        Used when an update produced a new :class:`Relation` object without
+        changing the bag (e.g. a delete bag that matched nothing) — positions
+        stay valid, only the backing object changes.
+        """
+        self._relation = relation
+
+    def apply_insert(self, relation: Relation, start: int) -> None:
+        """Index the rows appended at ``relation.rows[start:]``.
+
+        ``relation`` must hold the previous contents unchanged in positions
+        ``0..start-1`` (how :meth:`Database.apply_update` builds insert
+        results), so existing entries stay valid and only the appended rows
+        are hashed.
+        """
+        self._relation = relation
+        rows = relation.rows
+        for pos in range(start, len(rows)):
+            self._buckets.setdefault(self._key(rows[pos]), []).append(pos)
+
+    def apply_delete(self, relation: Relation, old_to_new: Sequence[Optional[int]]) -> None:
+        """Remap the index after rows were deleted.
+
+        ``old_to_new[p]`` is the deleted rows' position translation: the new
+        position of the row formerly at ``p``, or ``None`` if it was removed.
+        No key is re-hashed — buckets are remapped in place, which is the
+        whole point of maintaining instead of rebuilding.
+        """
+        self._relation = relation
+        for key in list(self._buckets):
+            positions = self._buckets[key]
+            remapped = [old_to_new[p] for p in positions]
+            kept = [p for p in remapped if p is not None]
+            if kept:
+                self._buckets[key] = kept
+            else:
+                del self._buckets[key]
+
     def __contains__(self, key: Sequence[Any]) -> bool:
         return tuple(key) in self._buckets
 
@@ -118,6 +160,45 @@ class SortedIndex:
             hi = bisect.bisect_right(self._keys, high) if include_high else bisect.bisect_left(self._keys, high)
         rows = self._relation.rows
         return [rows[self._rowpos[i]] for i in range(lo, hi)]
+
+    # ------------------------------------------------------ delta maintenance
+
+    def retarget(self, relation: Relation) -> None:
+        """Point the index at a replacement relation with identical rows."""
+        self._relation = relation
+
+    def apply_insert(self, relation: Relation, start: int) -> None:
+        """Index the rows appended at ``relation.rows[start:]``.
+
+        Each new ``(key, position)`` entry is spliced into the sorted arrays
+        at its insertion point — O(δ·n) list splicing, which beats the
+        O(n log n) re-sort while the delta stays a small fraction of the
+        relation (the database layer falls back to a rebuild beyond that).
+        """
+        self._relation = relation
+        rows = relation.rows
+        for pos in range(start, len(rows)):
+            key = self._key(rows[pos])
+            at = bisect.bisect_right(self._keys, key)
+            self._keys.insert(at, key)
+            self._rowpos.insert(at, pos)
+
+    def apply_delete(self, relation: Relation, old_to_new: Sequence[Optional[int]]) -> None:
+        """Remap the index after rows were deleted.
+
+        Entries of removed rows are dropped and surviving positions
+        translated; the key order is untouched, so no re-sort happens.
+        """
+        self._relation = relation
+        keys: List[Key] = []
+        rowpos: List[int] = []
+        for key, pos in zip(self._keys, self._rowpos):
+            new_pos = old_to_new[pos]
+            if new_pos is not None:
+                keys.append(key)
+                rowpos.append(new_pos)
+        self._keys = keys
+        self._rowpos = rowpos
 
     def scan_sorted(self) -> Iterator[Row]:
         """Yield all rows in key order (gives the optimizer a sort order)."""

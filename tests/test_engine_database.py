@@ -125,3 +125,96 @@ def test_load_table_rebuilds_indexes(star_database):
     assert index is not None
     assert index.lookup((50,)) == [(50, 1, 1, 1, 1.0)]
     assert index.lookup((1,)) == []
+
+
+# ------------------------------------------- incremental index maintenance
+#
+# apply_update/update_view maintain indexes from the delta bags; after any
+# sequence of updates, every index must answer probes exactly like one
+# rebuilt from the final contents.
+
+
+def assert_indexes_match_rebuild(database, name, columns, probe_keys):
+    from repro.storage.index import build_index
+
+    index = database.index_for(name, columns)
+    assert index is not None
+    rebuilt = build_index(database.table(name), columns, kind="hash")
+    for key in probe_keys:
+        assert sorted(index.lookup(key)) == sorted(rebuilt.lookup(key))
+    assert len(index) == len(database.table(name))
+
+
+def test_apply_update_maintains_indexes_incrementally(star_database):
+    star_database.build_index(IndexDef("sales", ("product_id",), kind="hash"))
+    schema = star_database.table("sales").schema
+    star_database.apply_update(
+        "sales", DeltaKind.INSERT, Relation(schema, [(7, 10, 100, 1, 5.0)])
+    )
+    index_after_insert = star_database.index_for("sales", ["product_id"])
+    star_database.apply_update(
+        "sales", DeltaKind.DELETE, Relation(schema, [(1, 10, 100, 2, 20.0)])
+    )
+    # The small deltas stay under the incremental threshold: the index object
+    # must have been maintained in place, not rebuilt.
+    assert star_database.index_for("sales", ["product_id"]) is index_after_insert
+    assert_indexes_match_rebuild(
+        star_database, "sales", ["product_id"], [(10,), (11,), (12,), (99,)]
+    )
+    # Both index kinds stay correct (the PK index on sale_id is a btree).
+    btree = star_database.index_for("sales", ["sale_id"])
+    assert btree.lookup((7,)) == [(7, 10, 100, 1, 5.0)]
+    assert btree.lookup((1,)) == []
+
+
+def test_large_delta_falls_back_to_rebuild(star_database):
+    star_database.build_index(IndexDef("stores", ("st_id",), kind="hash"))
+    before = star_database.index_for("stores", ["st_id"])
+    schema = star_database.table("stores").schema
+    big = Relation(schema, [(200 + i, f"town{i}", "west") for i in range(10)])
+    star_database.apply_update("stores", DeltaKind.INSERT, big)
+    after = star_database.index_for("stores", ["st_id"])
+    assert after is not before  # rebuilt, not spliced
+    assert after.lookup((205,)) == [(205, "town5", "west")]
+
+
+def test_update_view_maintains_view_indexes(star_database):
+    sales = star_database.table("sales")
+    star_database.materialize_view("v_sales", Relation(sales.schema, sales.rows))
+    star_database.build_index(IndexDef("v_sales", ("product_id",), kind="hash"))
+    star_database.update_view(
+        "v_sales",
+        inserts=Relation(sales.schema, [(7, 13, 100, 1, 5.0)]),
+        deletes=Relation(sales.schema, [(1, 10, 100, 2, 20.0)]),
+    )
+    assert_indexes_match_rebuild(
+        star_database, "v_sales", ["product_id"], [(10,), (13,), (99,)]
+    )
+
+
+# -------------------------------------------------------- view statistics
+
+
+def test_view_statistics_follow_delta_merges(star_database):
+    schema = Schema.from_names(["k"])
+    star_database.materialize_view("v_stats", Relation(schema, [(1,), (2,)]))
+    stats = star_database.catalog.view_stats("v_stats")
+    assert stats is not None and stats.cardinality == 2.0
+    star_database.update_view(
+        "v_stats", inserts=Relation(schema, [(3,), (4,)]), deletes=Relation(schema, [(1,)])
+    )
+    assert star_database.catalog.view_stats("v_stats").cardinality == 3.0
+    star_database.drop_view("v_stats")
+    assert star_database.catalog.view_stats("v_stats") is None
+
+
+def test_base_table_cardinality_tracks_updates_cheaply(star_database):
+    schema = star_database.table("sales").schema
+    full = star_database.catalog.stats("sales")
+    star_database.apply_update(
+        "sales", DeltaKind.INSERT, Relation(schema, [(8, 10, 100, 1, 5.0)])
+    )
+    refreshed = star_database.catalog.stats("sales")
+    assert refreshed.cardinality == full.cardinality + 1
+    # Column distributions come from the last full measurement.
+    assert refreshed.column("amount").min_value == full.column("amount").min_value

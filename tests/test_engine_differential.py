@@ -23,10 +23,36 @@ from repro.algebra.expressions import (
     UnionAll,
 )
 from repro.algebra.predicates import eq, gt
-from repro.engine.differential import differentiate
+from repro.catalog.schema import Schema, TableDef
+from repro.engine.database import Database
+from repro.engine.differential import DifferentialEngine, differentiate
 from repro.engine.executor import MaterializedRegistry, evaluate
 from repro.storage.delta import DeltaKind
 from repro.storage.relation import Relation
+
+
+def both_paths(expression, database, relation, kind, delta_rows, materialized=None):
+    """Run the interpreted oracle and the vectorized engine side by side.
+
+    Asserts the two produce identical insert/delete bags and that applying
+    either to the old result reproduces recomputation, then returns the
+    oracle's delta for fine-grained assertions.
+    """
+    old_result = evaluate(expression, database)
+    oracle = differentiate(
+        expression, database, relation, kind, delta_rows, materialized=materialized
+    )
+    vectorized = DifferentialEngine(database).differentiate(
+        expression, relation, kind, delta_rows, materialized=materialized
+    )
+    assert vectorized.inserts.same_bag(oracle.inserts)
+    assert vectorized.deletes.same_bag(oracle.deletes)
+    updated = database.copy()
+    updated.apply_update(relation, kind, delta_rows)
+    recomputed = evaluate(expression, updated)
+    incremental = old_result.apply_delta(inserts=oracle.inserts, deletes=oracle.deletes)
+    assert incremental.same_bag(recomputed)
+    return oracle
 
 
 def check_invariant(expression, database, relation, kind, delta_rows, materialized=None):
@@ -198,3 +224,95 @@ def test_distinct_delta_no_change_for_existing_value(star_database):
     rows = Relation(sales_schema(star_database), [(8, 10, 100, 1, 5.0)])
     delta = check_invariant(expression, star_database, "sales", DeltaKind.INSERT, rows)
     assert delta.is_empty
+
+
+# ------------------------------------------------- aggregate delta regressions
+#
+# Scalar (no GROUP BY) aggregates and vanishing groups are the corner cases
+# of _aggregate_delta: a scalar aggregate has a row even over an empty
+# child (COUNT = 0, SUM/MIN/MAX/AVG = None), and a group whose last input
+# row is deleted must emit its old aggregate row as a delete with no
+# replacement.  Each case is checked on the interpreted oracle AND the
+# vectorized engine via both_paths().
+
+
+def empty_sales_database(star_database):
+    database = Database()
+    schema = star_database.table("sales").schema
+    database.create_table(TableDef("sales", schema, ()), [])
+    return database
+
+
+def scalar_aggregates():
+    return [
+        AggregateSpec(AggregateFunc.COUNT, None, "n"),
+        AggregateSpec(AggregateFunc.SUM, "amount", "total"),
+        AggregateSpec(AggregateFunc.MAX, "amount", "peak"),
+    ]
+
+
+def test_scalar_aggregate_delta_over_empty_child(star_database):
+    """First insert into an empty table replaces the (0, None, None) row."""
+    database = empty_sales_database(star_database)
+    expression = Aggregate(BaseRelation("sales"), [], scalar_aggregates())
+    rows = Relation(database.table("sales").schema, [(1, 10, 100, 2, 20.0), (2, 11, 101, 1, 5.0)])
+    delta = both_paths(expression, database, "sales", DeltaKind.INSERT, rows)
+    assert delta.deletes.rows == [(0, None, None)]
+    assert delta.inserts.rows == [(2, 25.0, 20.0)]
+
+
+def test_scalar_aggregate_delta_back_to_empty_child(star_database):
+    """Deleting every row returns the scalar aggregate to its empty-input row."""
+    database = empty_sales_database(star_database)
+    only_row = (1, 10, 100, 2, 20.0)
+    database.apply_update(
+        "sales", DeltaKind.INSERT, Relation(database.table("sales").schema, [only_row])
+    )
+    expression = Aggregate(BaseRelation("sales"), [], scalar_aggregates())
+    rows = Relation(database.table("sales").schema, [only_row])
+    delta = both_paths(expression, database, "sales", DeltaKind.DELETE, rows)
+    assert delta.deletes.rows == [(1, 20.0, 20.0)]
+    assert delta.inserts.rows == [(0, None, None)]
+
+
+def test_grouped_aggregate_delta_over_empty_child(star_database):
+    """A grouped aggregate over an empty child has no rows to delete."""
+    database = empty_sales_database(star_database)
+    expression = Aggregate(
+        BaseRelation("sales"), ["store_id"], [AggregateSpec(AggregateFunc.COUNT, None, "n")]
+    )
+    rows = Relation(database.table("sales").schema, [(1, 10, 100, 2, 20.0)])
+    delta = both_paths(expression, database, "sales", DeltaKind.INSERT, rows)
+    assert delta.deletes.rows == []
+    assert delta.inserts.rows == [(100, 1)]
+
+
+def test_aggregate_delta_vanishing_group_over_join(star_database):
+    """A group vanishes when its last contributing join rows are deleted."""
+    expression = Aggregate(
+        Join(BaseRelation("sales"), BaseRelation("products"), [("product_id", "p_id")]),
+        ["p_category"],
+        [AggregateSpec(AggregateFunc.SUM, "amount", "revenue")],
+    )
+    # Sales 4 and 6 are the only "toys" (product 12) rows.
+    rows = Relation(
+        sales_schema(star_database), [(4, 12, 102, 1, 30.0), (6, 12, 100, 4, 120.0)]
+    )
+    delta = both_paths(expression, star_database, "sales", DeltaKind.DELETE, rows)
+    assert delta.deletes.rows == [("toys", 150.0)]
+    assert delta.inserts.rows == []
+
+
+def test_vectorized_engine_uses_materialized_old_aggregate(star_database):
+    """The engine reads old aggregate rows from a registered stored view."""
+    expression = Aggregate(
+        BaseRelation("sales"), ["store_id"], [AggregateSpec(AggregateFunc.SUM, "amount", "revenue")]
+    )
+    registry = MaterializedRegistry()
+    star_database.materialize_view("v_rev", evaluate(expression, star_database))
+    registry.register(expression, "v_rev")
+    rows = Relation(sales_schema(star_database), [(7, 10, 101, 1, 5.0)])
+    delta = both_paths(
+        expression, star_database, "sales", DeltaKind.INSERT, rows, materialized=registry
+    )
+    assert len(delta.inserts) == 1

@@ -21,7 +21,7 @@ from repro.algebra.expressions import (
 from repro.algebra.predicates import gt
 from repro.catalog.schema import Schema, TableDef
 from repro.engine.database import Database
-from repro.engine.differential import differentiate
+from repro.engine.differential import DifferentialEngine, OldValueCache, differentiate
 from repro.engine.executor import evaluate
 from repro.storage.delta import DeltaKind
 from repro.storage.relation import Relation
@@ -118,3 +118,55 @@ def test_empty_update_produces_empty_differential(facts, dims, relation):
     schema = database.table(relation).schema
     change = differentiate(expression, database, relation, DeltaKind.INSERT, Relation(schema, []))
     assert change.is_empty
+
+
+@given(
+    facts=fact_rows,
+    dims=dim_rows,
+    extra=fact_rows,
+    relation=updated_relation,
+    kind=update_kind,
+    view_index=st.integers(min_value=0, max_value=4),
+)
+@settings(max_examples=120, deadline=None)
+def test_vectorized_engine_matches_interpreted_differentiate(
+    facts, dims, extra, relation, kind, view_index
+):
+    """The vectorized engine's δ+/δ− bags equal the interpreted oracle's."""
+    database = make_database(facts, dims)
+    expression = view_expressions()[view_index]
+    delta_rows = pick_delta(database, relation, kind, extra)
+
+    oracle = differentiate(expression, database, relation, kind, delta_rows)
+    engine = DifferentialEngine(database)
+    vectorized = engine.differentiate(expression, relation, kind, delta_rows)
+
+    assert vectorized.inserts.same_bag(oracle.inserts)
+    assert vectorized.deletes.same_bag(oracle.deletes)
+
+
+@given(
+    facts=fact_rows,
+    dims=dim_rows,
+    extra=fact_rows,
+    relation=updated_relation,
+    kind=update_kind,
+)
+@settings(max_examples=60, deadline=None)
+def test_vectorized_engine_shared_cache_stays_correct(facts, dims, extra, relation, kind):
+    """One shared cache across all views of a round must not change any bag.
+
+    This is the refresher's usage pattern: every view's differential within
+    a single-relation update round reads through the same
+    :class:`OldValueCache`, so memoized old values, sub-expression deltas
+    and hash builds are served across view boundaries.
+    """
+    database = make_database(facts, dims)
+    delta_rows = pick_delta(database, relation, kind, extra)
+    engine = DifferentialEngine(database)
+    cache = OldValueCache()
+    for expression in view_expressions():
+        oracle = differentiate(expression, database, relation, kind, delta_rows)
+        shared = engine.differentiate(expression, relation, kind, delta_rows, cache=cache)
+        assert shared.inserts.same_bag(oracle.inserts)
+        assert shared.deletes.same_bag(oracle.deletes)

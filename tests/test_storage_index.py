@@ -65,3 +65,53 @@ def test_build_index_factory(relation):
     assert isinstance(build_index(relation, ["k"], "btree"), SortedIndex)
     with pytest.raises(ValueError):
         build_index(relation, ["k"], "bitmap")
+
+
+# -------------------------------------------------- incremental maintenance
+#
+# apply_insert/apply_delete must leave the index indistinguishable from one
+# rebuilt over the updated relation — same lookups, same lengths, and (for
+# sorted indexes) the same scan order.
+
+
+def assert_same_index(maintained, rebuilt, probe_keys):
+    assert len(maintained) == len(rebuilt)
+    assert maintained.distinct_keys == rebuilt.distinct_keys
+    for key in probe_keys:
+        assert sorted(maintained.lookup(key)) == sorted(rebuilt.lookup(key))
+
+
+@pytest.mark.parametrize("kind", ["hash", "btree"])
+def test_apply_insert_matches_rebuild(relation, kind):
+    index = build_index(relation, ["k"], kind)
+    appended = Relation(SCHEMA, ROWS + [(2, "c", 50), (9, "z", 60)])
+    index.apply_insert(appended, start=len(ROWS))
+    rebuilt = build_index(appended, ["k"], kind)
+    assert_same_index(index, rebuilt, [(1,), (2,), (3,), (9,), (99,)])
+
+
+@pytest.mark.parametrize("kind", ["hash", "btree"])
+def test_apply_delete_matches_rebuild(relation, kind):
+    index = build_index(relation, ["k"], kind)
+    # Remove positions 1 and 2 ((2, "a", 20) and (3, "b", 30)): the survivors
+    # shift down, so every retained entry's position must be remapped.
+    shrunk = Relation(SCHEMA, [ROWS[0], ROWS[3]])
+    index.apply_delete(shrunk, old_to_new=[0, None, None, 1])
+    rebuilt = build_index(shrunk, ["k"], kind)
+    assert_same_index(index, rebuilt, [(1,), (2,), (3,), (99,)])
+    assert index.lookup((3,)) == []
+
+
+def test_sorted_index_apply_insert_keeps_scan_order(relation):
+    index = SortedIndex(relation, ["k"])
+    appended = Relation(SCHEMA, ROWS + [(0, "q", 5), (2, "q", 45)])
+    index.apply_insert(appended, start=len(ROWS))
+    keys = [row[0] for row in index.scan_sorted()]
+    assert keys == sorted(keys)
+
+
+def test_retarget_keeps_positions(relation):
+    index = HashIndex(relation, ["k"])
+    replacement = Relation(SCHEMA, list(ROWS))
+    index.retarget(replacement)
+    assert sorted(index.lookup((2,))) == [(2, "a", 20), (2, "b", 40)]
