@@ -6,11 +6,20 @@ estimated statistics (cardinality, tuple width, column stats) used by the
 cost model.  Both walk the logical tree directly, so they are usable before
 any DAG has been built — the DAG builder then caches the results per
 equivalence node.
+
+Statistics estimation itself lives in the unified
+:class:`~repro.catalog.estimator.CardinalityEstimator` (histogram
+interpolation, runtime-feedback corrections, per-expression memoization);
+``derive_stats`` and ``predicate_selectivity`` are thin compatibility
+wrappers that either use a caller-provided estimator or spin up a transient
+one.  Callers that estimate repeatedly (the DAG builder, the maintenance
+cost engine) should pass a shared estimator so memoization and feedback
+corrections span the whole planning session.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.algebra.expressions import (
     Aggregate,
@@ -24,25 +33,10 @@ from repro.algebra.expressions import (
     Select,
     UnionAll,
 )
-from repro.algebra.predicates import (
-    ColumnRef,
-    Comparison,
-    Literal,
-    Predicate,
-    conjuncts,
-)
+from repro.algebra.predicates import Predicate
 from repro.catalog.catalog import Catalog
-from repro.catalog.schema import Column, ColumnType, Schema, SchemaError
-from repro.catalog.statistics import (
-    ColumnStats,
-    TableStats,
-    difference_cardinality,
-    estimate_group_count,
-    estimate_join_cardinality,
-    estimate_selectivity,
-    merge_column_stats,
-    union_cardinality,
-)
+from repro.catalog.schema import Column, ColumnType, Schema
+from repro.catalog.statistics import TableStats
 
 
 def derive_schema(expression: Expression, catalog: Catalog) -> Schema:
@@ -74,99 +68,40 @@ def derive_schema(expression: Expression, catalog: Catalog) -> Schema:
     raise TypeError(f"unknown expression type {type(expression).__name__}")
 
 
-def predicate_selectivity(predicate: Predicate, stats: TableStats) -> float:
+_selectivity_estimator = None
+
+
+def _default_selectivity_estimator():
+    """A shared catalog-less estimator for bare selectivity questions."""
+    global _selectivity_estimator
+    if _selectivity_estimator is None:
+        # Deferred import: the estimator imports derive_schema from here.
+        from repro.catalog.estimator import CardinalityEstimator
+
+        _selectivity_estimator = CardinalityEstimator(Catalog())
+    return _selectivity_estimator
+
+
+def predicate_selectivity(
+    predicate: Predicate, stats: TableStats, estimator=None
+) -> float:
     """Estimated selectivity of an arbitrary predicate against ``stats``."""
-    selectivity = 1.0
-    for part in conjuncts(predicate):
-        selectivity *= _single_selectivity(part, stats)
-    return max(0.0, min(1.0, selectivity))
+    return (estimator or _default_selectivity_estimator()).predicate_selectivity(
+        predicate, stats
+    )
 
 
-def _single_selectivity(predicate: Predicate, stats: TableStats) -> float:
-    if isinstance(predicate, Comparison):
-        left, right, op = predicate.left, predicate.right, predicate.op
-        if isinstance(left, ColumnRef) and isinstance(right, Literal):
-            return estimate_selectivity(op, stats, left.name, _numeric(right.value))
-        if isinstance(left, Literal) and isinstance(right, ColumnRef):
-            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
-            return estimate_selectivity(flipped, stats, right.name, _numeric(left.value))
-        if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
-            # Column-to-column comparison within one input: treat as an
-            # equi-restriction using the larger distinct count.
-            v = max(stats.distinct(left.name), stats.distinct(right.name))
-            return 1.0 / max(1.0, v) if op == "==" else 1.0 / 3.0
-    # Unknown predicate shapes get the default restriction factor.
-    return 0.25
+def derive_stats(
+    expression: Expression, catalog: Catalog, estimator=None
+) -> TableStats:
+    """Compute estimated statistics for the result of ``expression``.
 
+    Delegates to the given :class:`CardinalityEstimator` (or a transient one
+    bound to ``catalog``), the single owner of selectivity, join and group
+    estimation.
+    """
+    if estimator is None:
+        from repro.catalog.estimator import CardinalityEstimator
 
-def _numeric(value) -> Optional[float]:
-    if isinstance(value, bool):
-        return None
-    if isinstance(value, (int, float)):
-        return float(value)
-    return None
-
-
-def derive_stats(expression: Expression, catalog: Catalog) -> TableStats:
-    """Compute estimated statistics for the result of ``expression``."""
-    if isinstance(expression, BaseRelation):
-        return catalog.stats(expression.name)
-
-    if isinstance(expression, Select):
-        child = derive_stats(expression.child, catalog)
-        selectivity = predicate_selectivity(expression.predicate, child)
-        return child.with_cardinality(child.cardinality * selectivity)
-
-    if isinstance(expression, Project):
-        child = derive_stats(expression.child, catalog)
-        schema = derive_schema(expression, catalog)
-        kept = {c.name for c in schema.columns}
-        cols = {n: cs for n, cs in child.column_stats.items() if n in kept or n.rsplit(".", 1)[-1] in kept}
-        return TableStats(child.cardinality, schema.tuple_width, cols)
-
-    if isinstance(expression, Join):
-        left = derive_stats(expression.left, catalog)
-        right = derive_stats(expression.right, catalog)
-        cardinality = estimate_join_cardinality(left, right, expression.conditions)
-        if not isinstance(expression.residual, type(None)):
-            combined = TableStats(
-                max(cardinality, 1.0),
-                left.tuple_width + right.tuple_width,
-                merge_column_stats(left.column_stats, right.column_stats),
-            )
-            cardinality *= predicate_selectivity(expression.residual, combined)
-        width = left.tuple_width + right.tuple_width
-        cols = merge_column_stats(left.column_stats, right.column_stats)
-        # Clamp distinct counts to the join output cardinality.
-        return TableStats(cardinality, width, cols).with_cardinality(cardinality)
-
-    if isinstance(expression, Aggregate):
-        child = derive_stats(expression.child, catalog)
-        groups = estimate_group_count(child, expression.group_by)
-        schema = derive_schema(expression, catalog)
-        cols: Dict[str, ColumnStats] = {}
-        for g in expression.group_by:
-            base = child.column(g)
-            cols[g] = ColumnStats(distinct=min(base.distinct if base else groups, groups)) if base else ColumnStats(distinct=groups)
-        for agg in expression.aggregates:
-            cols[agg.alias] = ColumnStats(distinct=groups)
-        return TableStats(groups, schema.tuple_width, cols)
-
-    if isinstance(expression, UnionAll):
-        parts = [derive_stats(i, catalog) for i in expression.inputs]
-        schema = derive_schema(expression, catalog)
-        cols = merge_column_stats(*[p.column_stats for p in parts])
-        return TableStats(union_cardinality(parts), schema.tuple_width, cols)
-
-    if isinstance(expression, Difference):
-        left = derive_stats(expression.left, catalog)
-        right = derive_stats(expression.right, catalog)
-        return left.with_cardinality(difference_cardinality(left, right))
-
-    if isinstance(expression, Distinct):
-        child = derive_stats(expression.child, catalog)
-        schema = derive_schema(expression, catalog)
-        distinct = estimate_group_count(child, list(schema.names))
-        return child.with_cardinality(distinct)
-
-    raise TypeError(f"unknown expression type {type(expression).__name__}")
+        estimator = CardinalityEstimator(catalog)
+    return estimator.stats(expression)

@@ -153,6 +153,58 @@ def refresh_payload(result) -> Dict[str, Any]:
     }
 
 
+def estimation_payload(result) -> Dict[str, Any]:
+    """A JSON-serializable payload for the estimation-quality experiment.
+
+    Accepts an :class:`repro.bench.estimation.EstimationQualityResult`
+    (duck-typed, like :func:`execution_payload`).
+    """
+    return {
+        "experiment": result.experiment,
+        "scale_factor": result.scale_factor,
+        "workloads": [
+            {
+                "workload": workload.workload,
+                "views": workload.views,
+                "modes": {
+                    mode: {
+                        "operators": len(mres.estimates),
+                        "estimated_operators": len(mres.qerrors),
+                        "median_qerror": mres.median_qerror,
+                        "mean_qerror": mres.mean_qerror,
+                        "max_qerror": mres.max_qerror,
+                        "plan_cost": mres.plan_cost,
+                        "runtime_seconds": mres.runtime_seconds,
+                    }
+                    for mode, mres in workload.modes.items()
+                },
+            }
+            for workload in result.workloads
+        ],
+    }
+
+
+def format_estimation(result) -> str:
+    """Text table for the estimation-quality experiment."""
+    table = format_table(
+        result.as_rows(),
+        [
+            "workload",
+            "mode",
+            "operators",
+            "median_qerror",
+            "mean_qerror",
+            "max_qerror",
+            "plan_cost",
+            "runtime_ms",
+        ],
+    )
+    return (
+        f"{result.experiment}: histogram + runtime-feedback estimation vs the "
+        f"System-R uniformity baseline (scale factor {result.scale_factor})\n{table}"
+    )
+
+
 def format_refresh_comparison(result) -> str:
     """Text table for a refresh-path comparison."""
     table = format_table(

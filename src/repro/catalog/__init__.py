@@ -12,8 +12,21 @@ set explicitly (see :meth:`Catalog.register_table_stats`).
 """
 
 from repro.catalog.schema import Column, ColumnType, Schema, TableDef
-from repro.catalog.statistics import ColumnStats, TableStats, estimate_selectivity
+from repro.catalog.statistics import ColumnStats, Histogram, TableStats, estimate_selectivity
 from repro.catalog.catalog import Catalog, IndexDef
+
+
+def __getattr__(name):
+    # The estimator consumes the algebra layer (expressions, predicates),
+    # which itself imports catalog.schema — re-exporting it lazily keeps
+    # ``from repro.catalog import CardinalityEstimator`` working without a
+    # circular import at package-init time.
+    if name in ("CardinalityEstimator", "qerror"):
+        from repro.catalog import estimator
+
+        return getattr(estimator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Column",
@@ -21,8 +34,11 @@ __all__ = [
     "Schema",
     "TableDef",
     "ColumnStats",
+    "Histogram",
     "TableStats",
     "estimate_selectivity",
     "Catalog",
     "IndexDef",
+    "CardinalityEstimator",
+    "qerror",
 ]

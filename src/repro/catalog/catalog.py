@@ -56,6 +56,19 @@ class Catalog:
         self._stats: Dict[str, TableStats] = {}
         self._indexes: Dict[str, List[IndexDef]] = {}
         self._view_stats: Dict[str, TableStats] = {}
+        #: Per-relation statistics versions, bumped whenever a table's or
+        #: view's statistics are (re)registered.  The cardinality estimator
+        #: keys its memo and runtime-feedback observations on these, so
+        #: cached estimates never survive a stats change for a relation
+        #: they depend on.
+        self._stats_versions: Dict[str, int] = {}
+
+    def _bump_stats_version(self, name: str) -> None:
+        self._stats_versions[name] = self._stats_versions.get(name, 0) + 1
+
+    def stats_version(self, name: str) -> int:
+        """Monotonic version of ``name``'s statistics (0 = never registered)."""
+        return self._stats_versions.get(name, 0)
 
     # ------------------------------------------------------------------ tables
 
@@ -70,6 +83,7 @@ class Catalog:
         self._indexes.setdefault(table.name, [])
         if stats is not None:
             self._stats[table.name] = stats
+            self._bump_stats_version(table.name)
         if create_pk_index and table.primary_key:
             self.register_index(
                 IndexDef(table.name, tuple(table.primary_key), kind="btree", unique=True)
@@ -80,6 +94,7 @@ class Catalog:
         if name not in self._tables:
             raise CatalogError(f"unknown table {name!r}")
         self._stats[name] = stats
+        self._bump_stats_version(name)
 
     def table(self, name: str) -> TableDef:
         """Look up a table definition."""
@@ -156,6 +171,7 @@ class Catalog:
         refresher keeps them current as view deltas are merged.
         """
         self._view_stats[name] = stats
+        self._bump_stats_version(name)
 
     def view_stats(self, name: str) -> Optional[TableStats]:
         """Measured statistics for a materialized view, if recorded."""
@@ -163,7 +179,9 @@ class Catalog:
 
     def drop_view_stats(self, name: str) -> None:
         """Forget a view's statistics (when the view is dropped)."""
-        self._view_stats.pop(name, None)
+        if name in self._view_stats:
+            del self._view_stats[name]
+            self._bump_stats_version(name)
 
     # ------------------------------------------------------------------- misc
 
@@ -182,6 +200,7 @@ class Catalog:
         clone._stats = dict(self._stats)
         clone._indexes = {k: list(v) for k, v in self._indexes.items()}
         clone._view_stats = dict(self._view_stats)
+        clone._stats_versions = dict(self._stats_versions)
         return clone
 
     def scale_statistics(self, factor: float, tables: Optional[Iterable[str]] = None) -> None:
@@ -190,3 +209,4 @@ class Catalog:
         for name in names:
             if name in self._stats:
                 self._stats[name] = self._stats[name].scaled(factor)
+                self._bump_stats_version(name)

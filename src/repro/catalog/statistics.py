@@ -16,14 +16,185 @@ scale-0.1 cardinalities without generating 100 MB of data).
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.catalog.schema import Schema
 
 #: Default selectivity used when a predicate cannot be estimated from stats.
 DEFAULT_EQUALITY_SELECTIVITY = 0.1
 DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+
+#: Measurement parameters for :meth:`TableStats.from_relation`: relations
+#: larger than the sample size are measured from a reservoir sample instead
+#: of a full per-column scan.
+DEFAULT_SAMPLE_SIZE = 4096
+DEFAULT_HISTOGRAM_BUCKETS = 32
+_MEASUREMENT_SEED = 8191
+
+#: Exact numeric types (bool, although an int subclass, is not a measurement).
+_NUMERIC_TYPES = {int, float}
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """An equi-depth histogram over a numeric column.
+
+    ``bounds`` has one more entry than ``counts``: bucket ``i`` covers the
+    value range ``[bounds[i], bounds[i+1]]`` and holds ``counts[i]`` rows.
+    Buckets with ``bounds[i] == bounds[i+1]`` are *spike* buckets — a single
+    heavy value that filled a whole equi-depth bucket on its own — and are
+    treated exactly during estimation.  Counts are floats so histograms
+    built from samples can be scaled to the population size, and so delta
+    maintenance can subtract fractional scaled rows.
+    """
+
+    bounds: Tuple[float, ...]
+    counts: Tuple[float, ...]
+
+    @property
+    def total(self) -> float:
+        """Total row count the histogram currently accounts for."""
+        return sum(self.counts)
+
+    @property
+    def min_value(self) -> float:
+        """Lowest value covered."""
+        return self.bounds[0]
+
+    @property
+    def max_value(self) -> float:
+        """Highest value covered."""
+        return self.bounds[-1]
+
+    @staticmethod
+    def from_values(
+        values: Sequence[float],
+        buckets: int = DEFAULT_HISTOGRAM_BUCKETS,
+        scale: float = 1.0,
+    ) -> Optional["Histogram"]:
+        """Build an equi-depth histogram from (possibly sampled) values.
+
+        ``scale`` inflates the per-bucket counts so the histogram totals the
+        population size when ``values`` is only a sample of it.  Returns
+        ``None`` for an empty value list.
+        """
+        ordered = sorted(values)
+        n = len(ordered)
+        if n == 0:
+            return None
+        buckets = max(1, min(buckets, n))
+        bounds: List[float] = [float(ordered[0])]
+        counts: List[float] = []
+        for i in range(buckets):
+            lo = (i * n) // buckets
+            hi = ((i + 1) * n) // buckets
+            if hi <= lo:
+                continue
+            counts.append((hi - lo) * scale)
+            bounds.append(float(ordered[hi - 1]))
+        return Histogram(tuple(bounds), tuple(counts))
+
+    def scaled(self, factor: float) -> "Histogram":
+        """Scale every bucket count by ``factor``."""
+        return Histogram(self.bounds, tuple(c * factor for c in self.counts))
+
+    def _bucket_of(self, value: float) -> int:
+        """Index of the bucket whose range contains ``value`` (clamped)."""
+        i = bisect_left(self.bounds, value, lo=1) - 1
+        return min(max(i, 0), len(self.counts) - 1)
+
+    def shifted(self, values: Sequence[float], sign: int) -> "Histogram":
+        """Fold a bag of inserted (+1) or deleted (−1) values into the counts.
+
+        Inserted values outside the covered range widen the edge buckets;
+        counts never go negative (a delete of a value the histogram no
+        longer accounts for is dropped).  One sort of the delta values plus
+        one bisect per bucket — O(|delta| log |delta| + buckets), never a
+        per-value Python loop, so stats maintenance stays cheap on the
+        refresh hot path.
+        """
+        ordered = sorted(values)
+        n = len(ordered)
+        if n == 0:
+            return self
+        bounds = list(self.bounds)
+        if sign > 0:
+            if ordered[0] < bounds[0]:
+                bounds[0] = float(ordered[0])
+            if ordered[-1] > bounds[-1]:
+                bounds[-1] = float(ordered[-1])
+        counts = list(self.counts)
+        last = len(counts) - 1
+        prev = 0
+        for i in range(len(counts)):
+            # Bucket i absorbs values up to (and including) its upper bound,
+            # matching _bucket_of; the last bucket takes everything beyond.
+            pos = n if i == last else bisect_right(ordered, self.bounds[i + 1], prev)
+            if pos > prev:
+                counts[i] = max(0.0, counts[i] + sign * (pos - prev))
+            prev = pos
+        return Histogram(tuple(bounds), tuple(counts))
+
+    def fraction_at_most(self, value: float, inclusive: bool = True) -> float:
+        """Estimated fraction of rows with ``column <= value`` (or ``<``).
+
+        Exact 0/1 outside the covered range; linear interpolation inside a
+        bucket (the continuous-distribution assumption); spike buckets are
+        counted exactly, which is where ``inclusive`` matters.
+        """
+        total = self.total
+        if total <= 0:
+            return 0.0
+        if value < self.bounds[0]:
+            return 0.0
+        if value >= self.bounds[-1]:
+            if inclusive or value > self.bounds[-1]:
+                return 1.0
+        below = 0.0
+        at = 0.0
+        for i, count in enumerate(self.counts):
+            lo, hi = self.bounds[i], self.bounds[i + 1]
+            if hi < value:
+                below += count
+            elif lo == hi:
+                if hi == value:
+                    at += count
+            elif value >= hi:
+                below += count
+            elif value > lo:
+                below += count * (value - lo) / (hi - lo)
+        mass = below + (at if inclusive else 0.0)
+        return min(1.0, max(0.0, mass / total))
+
+    def equal_fraction(self, value: float, distinct: Optional[float] = None) -> float:
+        """Estimated fraction of rows with ``column == value``.
+
+        Spike buckets answer exactly; otherwise the containing bucket's mass
+        is spread over its share of the column's distinct values.
+        """
+        total = self.total
+        if total <= 0:
+            return 0.0
+        if value < self.bounds[0] or value > self.bounds[-1]:
+            return 0.0
+        spike = 0.0
+        container: Optional[float] = None
+        for i, count in enumerate(self.counts):
+            lo, hi = self.bounds[i], self.bounds[i + 1]
+            if lo == hi:
+                if lo == value:
+                    spike += count
+            elif lo <= value <= hi and container is None:
+                container = count
+        if spike > 0:
+            return min(1.0, spike / total)
+        if container is None:
+            return 0.0
+        populated = max(1, sum(1 for c in self.counts if c > 0))
+        per_bucket_distinct = max(1.0, (distinct or float(populated)) / populated)
+        return min(1.0, (container / total) / per_bucket_distinct)
 
 
 @dataclass(frozen=True)
@@ -38,16 +209,27 @@ class ColumnStats:
         Numeric bounds when known; ``None`` for non-numeric columns.
     null_fraction:
         Fraction of NULLs (we keep it for completeness; TPC-D data has none).
+    histogram:
+        Optional equi-depth :class:`Histogram` of the value distribution,
+        used by the estimator for interpolated range/equality selectivities.
+    sampled:
+        Whether these statistics were measured from a sample rather than a
+        full scan.  Sampled min/max bounds underestimate the true range, so
+        estimates must not treat values outside them as matching exactly
+        zero rows.
     """
 
     distinct: float = 1.0
     min_value: Optional[float] = None
     max_value: Optional[float] = None
     null_fraction: float = 0.0
+    histogram: Optional[Histogram] = None
+    sampled: bool = False
 
     def scaled(self, factor: float) -> "ColumnStats":
         """Scale the distinct count (used when scaling table cardinalities)."""
-        return replace(self, distinct=max(1.0, self.distinct * factor))
+        histogram = self.histogram.scaled(factor) if self.histogram is not None else None
+        return replace(self, distinct=max(1.0, self.distinct * factor), histogram=histogram)
 
 
 @dataclass(frozen=True)
@@ -102,39 +284,151 @@ class TableStats:
         """Scale cardinality (and distinct counts) by ``factor``."""
         return self.with_cardinality(self.cardinality * factor)
 
+    def updated_by_delta(self, delta, sign: int) -> "TableStats":
+        """Fold one insert (+1) or delete (−1) bag into these statistics.
+
+        ``delta`` is any relation-like object exposing ``schema`` and
+        iteration over tuples.  The cardinality moves by the bag size,
+        histogram bucket counts shift with the delta values, and inserts
+        widen min/max bounds; distinct counts are clamped against the new
+        cardinality (they are not otherwise re-estimated — the classic
+        ANALYZE trade-off that keeps stats maintenance O(|delta|)).
+        """
+        count = float(len(delta))
+        if count == 0:
+            return self
+        card = max(0.0, self.cardinality + sign * count)
+        column_at = getattr(delta, "column_at", None)
+        rows = None if column_at is not None else list(delta)
+        new_cols = dict(self.column_stats)
+        for idx, column in enumerate(delta.schema.columns):
+            found = _lookup_item(self.column_stats, column.name)
+            if found is None:
+                continue
+            name, cs = found
+            if cs.histogram is None and cs.min_value is None:
+                # Non-numeric column: nothing distributional to maintain.
+                continue
+            raw = column_at(idx) if column_at is not None else [row[idx] for row in rows]
+            values = [v for v in raw if type(v) in _NUMERIC_TYPES]
+            histogram = cs.histogram
+            if values and histogram is not None:
+                histogram = histogram.shifted(values, sign)
+            min_v, max_v = cs.min_value, cs.max_value
+            if sign > 0 and values:
+                lo, hi = float(min(values)), float(max(values))
+                min_v = lo if min_v is None else min(min_v, lo)
+                max_v = hi if max_v is None else max(max_v, hi)
+            # Distinct counts are deliberately left sticky: a transient
+            # cardinality dip mid-merge (aggregate deltas delete every
+            # affected group before reinserting it) must not collapse them;
+            # the caller's final with_cardinality clamp applies the true
+            # post-merge bound.
+            new_cols[name] = replace(
+                cs, min_value=min_v, max_value=max_v, histogram=histogram
+            )
+        return TableStats(card, self.tuple_width, new_cols)
+
     @staticmethod
-    def from_relation(relation, schema: Optional[Schema] = None) -> "TableStats":
+    def from_relation(
+        relation,
+        schema: Optional[Schema] = None,
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+        histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS,
+        seed: int = _MEASUREMENT_SEED,
+    ) -> "TableStats":
         """Measure statistics from an in-memory relation.
 
         ``relation`` is any object exposing ``schema`` and iteration over
         tuples (duck-typed to avoid a circular import with ``repro.storage``).
+
+        Relations up to ``sample_size`` tuples are measured exactly.  Larger
+        ones are measured from a reservoir sample (one pass over the rows,
+        per-column work bounded by the sample): distinct counts use the GEE
+        sample estimator, min/max and the equi-depth histogram come from the
+        sample with bucket counts scaled to the full cardinality.
         """
+        sampler = getattr(relation, "sample", None)
+        sampled = False
+        if sampler is not None and len(relation) > sample_size:
+            rows = sampler(sample_size, seed=seed)
+            card = float(len(relation))
+            sampled = True
+        else:
+            rows = list(relation)
+            card = float(len(rows))
         schema = schema or relation.schema
-        rows = list(relation)
-        card = float(len(rows))
+        observed = float(len(rows))
         col_stats: Dict[str, ColumnStats] = {}
         for idx, col in enumerate(schema.columns):
             values = [row[idx] for row in rows if row[idx] is not None]
-            distinct = float(len(set(values))) if values else 1.0
+            null_fraction = (1.0 - len(values) / observed) if observed else 0.0
+            population = card * (1.0 - null_fraction)
+            if not sampled:
+                distinct = float(len(set(values))) if values else 1.0
+            else:
+                distinct = _gee_distinct(values, population)
             numeric = [v for v in values if isinstance(v, (int, float)) and not isinstance(v, bool)]
+            histogram = None
+            if numeric:
+                scale = population / len(values) if values else 1.0
+                histogram = Histogram.from_values(
+                    numeric, buckets=histogram_buckets, scale=max(scale, 0.0)
+                )
             col_stats[col.name] = ColumnStats(
                 distinct=distinct,
                 min_value=float(min(numeric)) if numeric else None,
                 max_value=float(max(numeric)) if numeric else None,
-                null_fraction=(1.0 - len(values) / card) if card else 0.0,
+                null_fraction=null_fraction,
+                histogram=histogram,
+                sampled=sampled,
             )
         return TableStats(card, schema.tuple_width, col_stats)
 
 
+def _gee_distinct(values: Sequence, population: float) -> float:
+    """GEE distinct-count estimate from a uniform sample.
+
+    ``D̂ = sqrt(n/k)·f₁ + (d − f₁)`` where ``f₁`` is the number of values
+    seen exactly once in a sample of ``k`` out of ``n`` rows and ``d`` the
+    sample's distinct count (Charikar et al.); clamped to ``[d, n]``.
+    """
+    if not values:
+        return 1.0
+    seen: Dict[object, int] = {}
+    for v in values:
+        seen[v] = seen.get(v, 0) + 1
+    d = float(len(seen))
+    f1 = float(sum(1 for c in seen.values() if c == 1))
+    k = float(len(values))
+    n = max(population, k)
+    estimate = math.sqrt(n / k) * f1 + (d - f1)
+    return max(1.0, min(max(d, estimate), n))
+
+
+def _lookup_item(
+    stats: Mapping[str, ColumnStats], column: str
+) -> Optional[Tuple[str, ColumnStats]]:
+    """Resolve a column name in a stats mapping to its ``(key, stats)`` entry.
+
+    An exact (qualified) match always wins.  Unqualified suffix matches fall
+    back to deterministic resolution: when several qualified names share the
+    suffix, the lexicographically smallest qualified name is chosen rather
+    than silently dropping to the magic-constant fallback.
+    """
+    if column in stats:
+        return column, stats[column]
+    suffix = column.rsplit(".", 1)[-1]
+    matches = [(name, cs) for name, cs in stats.items() if name.rsplit(".", 1)[-1] == suffix]
+    if not matches:
+        return None
+    return min(matches, key=lambda item: item[0])
+
+
 def _lookup(stats: Mapping[str, ColumnStats], column: str) -> Optional[ColumnStats]:
     """Resolve a column name in a stats mapping, allowing suffix matches."""
-    if column in stats:
-        return stats[column]
-    suffix = column.rsplit(".", 1)[-1]
-    matches = [cs for name, cs in stats.items() if name.rsplit(".", 1)[-1] == suffix]
-    if len(matches) == 1:
-        return matches[0]
-    return None
+    found = _lookup_item(stats, column)
+    return found[1] if found is not None else None
 
 
 def merge_column_stats(*mappings: Mapping[str, ColumnStats]) -> Dict[str, ColumnStats]:
@@ -171,14 +465,27 @@ def estimate_selectivity(
             col is not None
             and col.min_value is not None
             and col.max_value is not None
-            and col.max_value > col.min_value
             and isinstance(value, (int, float))
+            and not isinstance(value, bool)
         ):
-            frac = (float(value) - col.min_value) / (col.max_value - col.min_value)
-            frac = min(1.0, max(0.0, frac))
-            if op in (">", ">="):
-                frac = 1.0 - frac
-            return min(1.0, max(1.0 / max(stats.cardinality, 1.0), frac))
+            v = float(value)
+            # Values strictly outside [min, max] have exact selectivity 0 or
+            # 1 — clamping them to 1/cardinality would invent matching rows.
+            # Bounds measured from a sample underestimate the true range,
+            # so the zero side keeps the 1/cardinality floor there.
+            floor = 1.0 / max(stats.cardinality, 1.0) if col.sampled else 0.0
+            if v < col.min_value:
+                return floor if op in ("<", "<=") else 1.0 - floor
+            if v > col.max_value:
+                return 1.0 - floor if op in ("<", "<=") else floor
+            if col.max_value > col.min_value:
+                frac = (v - col.min_value) / (col.max_value - col.min_value)
+                frac = min(1.0, max(0.0, frac))
+                if op in (">", ">="):
+                    frac = 1.0 - frac
+                return min(1.0, max(1.0 / max(stats.cardinality, 1.0), frac))
+            # Degenerate single-point column: v == min == max.
+            return 1.0 if op in ("<=", ">=") else 0.0
         return DEFAULT_RANGE_SELECTIVITY
     raise ValueError(f"unknown predicate operator {op!r}")
 

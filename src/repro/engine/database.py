@@ -84,10 +84,12 @@ class Database:
         relation.name = name
         self._views[name] = relation
         self.rebuild_indexes(name)
-        # Cardinality is exact on every re-materialization; column
-        # distributions are measured once per view name (refreshing a
-        # temporary every round must not cost a full O(|view|) re-measure).
-        self.refresh_statistics(name, full=False)
+        # A full replacement invalidates the old distributions wholesale
+        # (delta merges maintain them incrementally instead), so re-measure.
+        # Measurement is reservoir-sampled, so this costs O(sample) per
+        # column, not O(|view|) — cheap enough for temporaries that only
+        # re-materialize when actually stale.
+        self.refresh_statistics(name, full=True)
 
     def view(self, name: str) -> Relation:
         """Fetch a materialized view's contents."""
@@ -157,7 +159,8 @@ class Database:
             self._apply_insert(relation, current, delta_rows)
         else:
             self._apply_delete(relation, current, delta_rows)
-        self.refresh_statistics(relation, full=False)
+        sign = 1 if kind is DeltaKind.INSERT else -1
+        self.refresh_statistics(relation, full=False, deltas=((delta_rows, sign),))
 
     def apply_delta(self, delta: Delta) -> None:
         """Apply a full delta (inserts then deletes) to a base table."""
@@ -179,11 +182,14 @@ class Database:
         refreshed so reuse costing never reads a stale cardinality.
         """
         current = self.view(name)
+        deltas: List[Tuple[Relation, int]] = []
         if deletes is not None and len(deletes):
             current = self._apply_delete(name, current, deletes)
+            deltas.append((deletes, -1))
         if inserts is not None and len(inserts):
             current = self._apply_insert(name, current, inserts)
-        self.refresh_statistics(name, full=False)
+            deltas.append((inserts, 1))
+        self.refresh_statistics(name, full=False, deltas=tuple(deltas))
 
     # ------------------------------------------------- incremental update steps
 
@@ -264,16 +270,23 @@ class Database:
 
     # ------------------------------------------------------------- statistics
 
-    def refresh_statistics(self, name: str, full: bool = True) -> None:
+    def refresh_statistics(
+        self,
+        name: str,
+        full: bool = True,
+        deltas: Sequence[Tuple[Relation, int]] = (),
+    ) -> None:
         """Refresh catalog statistics for a loaded base table or view.
 
         With ``full`` set (table loads, first sighting of a relation) the
-        statistics are measured from scratch.  The delta paths pass
-        ``full=False``: the cardinality — which drives the cost model's
-        scan/reuse/materialize formulas — is updated exactly (clamping
-        per-column distinct counts), while column distributions keep their
-        last full measurement, the classic ANALYZE trade-off that keeps
-        statistics maintenance O(1) per update instead of O(|relation|).
+        statistics are measured from scratch — via reservoir sampling for
+        large relations.  The delta paths pass ``full=False`` plus the
+        applied ``(bag, sign)`` pairs: the cardinality — which drives the
+        cost model's scan/reuse/materialize formulas — is updated exactly,
+        and the delta bags are folded into the column statistics (histogram
+        bucket counts shift, inserted values widen min/max), so view and
+        table distributions stay fresh the same incremental way the
+        cardinalities already do, at O(|delta|) instead of O(|relation|).
         """
         if name in self._tables and self.catalog.has_table(name):
             relation = self._tables[name]
@@ -285,7 +298,7 @@ class Database:
             if existing is None:
                 stats = TableStats.from_relation(relation)
             else:
-                stats = existing.with_cardinality(float(len(relation)))
+                stats = self._maintained(existing, relation, deltas)
             self.catalog.register_table_stats(name, stats)
         elif name in self._views:
             relation = self._views[name]
@@ -293,8 +306,19 @@ class Database:
             if existing is None:
                 stats = TableStats.from_relation(relation)
             else:
-                stats = existing.with_cardinality(float(len(relation)))
+                stats = self._maintained(existing, relation, deltas)
             self.catalog.register_view_stats(name, stats)
+
+    @staticmethod
+    def _maintained(
+        existing: TableStats, relation: Relation, deltas: Sequence[Tuple[Relation, int]]
+    ) -> TableStats:
+        """Incrementally maintained statistics after applying ``deltas``."""
+        stats = existing
+        for bag, sign in deltas:
+            stats = stats.updated_by_delta(bag, sign)
+        # The relation is the ground truth for cardinality, always exact.
+        return stats.with_cardinality(float(len(relation)))
 
     def copy(self) -> "Database":
         """Deep-enough copy: tuple bags are copied, catalog is shared copy."""

@@ -34,11 +34,12 @@ handle (e.g. relations missing from the catalog).
 from __future__ import annotations
 
 from operator import itemgetter
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.algebra.expressions import BaseRelation, Expression
+from repro.algebra.expressions import BaseRelation, Expression, base_relations
 from repro.algebra.predicates import Predicate
 from repro.algebra.schema_derivation import derive_schema
+from repro.catalog.estimator import CardinalityEstimator
 from repro.catalog.schema import Schema, SchemaError
 from repro.engine import operators
 from repro.engine.database import Database, DatabaseError
@@ -49,6 +50,10 @@ from repro.optimizer.dag_builder import DagBuilder
 from repro.optimizer.plans import PlanNode
 from repro.optimizer.volcano import VolcanoSearch
 from repro.storage.relation import Relation
+
+#: Observer signature: called with the originating plan step and the actual
+#: output bag every time an instrumented physical operator produces a result.
+PlanObserver = Callable[[PlanNode, Relation], None]
 
 
 class PhysicalPlanError(RuntimeError):
@@ -65,9 +70,20 @@ class PhysicalOperator:
 
     def __init__(self, children: Sequence["PhysicalOperator"] = ()) -> None:
         self.children: List[PhysicalOperator] = list(children)
+        #: Optional per-operator feedback hook, set by :func:`compile_plan`
+        #: when an observer is attached: called with the produced bag so the
+        #: estimator can learn actual output cardinalities per plan node.
+        self.feedback: Optional[Callable[[Relation], None]] = None
 
     def execute(self) -> Relation:
-        """Produce this operator's output bag."""
+        """Produce this operator's output bag (reporting it to any observer)."""
+        result = self._produce()
+        if self.feedback is not None:
+            self.feedback(result)
+        return result
+
+    def _produce(self) -> Relation:
+        """Operator-specific production of the output bag."""
         raise NotImplementedError
 
     def describe(self) -> str:
@@ -99,7 +115,7 @@ class TableScan(PhysicalOperator):
         self.database = database
         self.relation = relation
 
-    def execute(self) -> Relation:
+    def _produce(self) -> Relation:
         return self.database.table(self.relation)
 
     def describe(self) -> str:
@@ -116,7 +132,7 @@ class MaterializedScan(PhysicalOperator):
         self.database = database
         self.view_name = view_name
 
-    def execute(self) -> Relation:
+    def _produce(self) -> Relation:
         return self.database.view(self.view_name)
 
     def describe(self) -> str:
@@ -143,7 +159,7 @@ class LogicalFallback(PhysicalOperator):
         self.expression = expression
         self.materialized = materialized
 
-    def execute(self) -> Relation:
+    def _produce(self) -> Relation:
         return evaluate(self.expression, self.database, self.materialized)
 
     def describe(self) -> str:
@@ -159,7 +175,7 @@ class Filter(PhysicalOperator):
         super().__init__([child])
         self.predicate = predicate
 
-    def execute(self) -> Relation:
+    def _produce(self) -> Relation:
         return operators.select_batch(self.children[0].execute(), self.predicate)
 
     def describe(self) -> str:
@@ -175,7 +191,7 @@ class Projection(PhysicalOperator):
         super().__init__([child])
         self.columns = tuple(columns)
 
-    def execute(self) -> Relation:
+    def _produce(self) -> Relation:
         return self.children[0].execute().project(self.columns)
 
     def describe(self) -> str:
@@ -198,7 +214,7 @@ class HashJoin(PhysicalOperator):
         self.conditions = tuple(conditions)
         self.residual = residual
 
-    def execute(self) -> Relation:
+    def _produce(self) -> Relation:
         return operators.hash_join_batch(
             self.children[0].execute(),
             self.children[1].execute(),
@@ -227,7 +243,7 @@ class MergeJoin(PhysicalOperator):
         self.conditions = tuple(conditions)
         self.residual = residual
 
-    def execute(self) -> Relation:
+    def _produce(self) -> Relation:
         return operators.merge_join(
             self.children[0].execute(),
             self.children[1].execute(),
@@ -262,7 +278,7 @@ class NestedLoopJoin(PhysicalOperator):
         self.conditions = tuple(conditions)
         self.residual = residual
 
-    def execute(self) -> Relation:
+    def _produce(self) -> Relation:
         return operators.nested_loop_join_batch(
             self.children[0].execute(),
             self.children[1].execute(),
@@ -336,7 +352,7 @@ class IndexNestedLoopJoin(PhysicalOperator):
             return null_safe_probe
         return None
 
-    def execute(self) -> Relation:
+    def _produce(self) -> Relation:
         left = self.children[0].execute()
         right = self.children[1].execute()
         left_pos, right_pos = operators._join_positions(
@@ -415,7 +431,7 @@ class HashAggregate(PhysicalOperator):
         self.group_by = tuple(group_by)
         self.aggregates = tuple(aggregates)
 
-    def execute(self) -> Relation:
+    def _produce(self) -> Relation:
         return operators.aggregate_batch(
             self.children[0].execute(), self.group_by, self.aggregates
         )
@@ -444,7 +460,7 @@ class UnionAllOp(PhysicalOperator):
         super().__init__(children)
         self.expected = list(expected or [])
 
-    def execute(self) -> Relation:
+    def _produce(self) -> Relation:
         results = [
             _align(child.execute(), self._expected_for(i))
             for i, child in enumerate(self.children)
@@ -468,7 +484,7 @@ class DifferenceOp(PhysicalOperator):
         super().__init__(children)
         self.expected = list(expected or [])
 
-    def execute(self) -> Relation:
+    def _produce(self) -> Relation:
         left = self.children[0].execute()
         right = self.children[1].execute()
         if len(self.expected) == 2:
@@ -482,7 +498,7 @@ class DistinctOp(PhysicalOperator):
 
     kind = "distinct"
 
-    def execute(self) -> Relation:
+    def _produce(self) -> Relation:
         return operators.distinct(self.children[0].execute())
 
 
@@ -556,6 +572,7 @@ def compile_plan(
     database: Database,
     materialized: Optional[MaterializedRegistry] = None,
     strict: bool = False,
+    observer: Optional[PlanObserver] = None,
 ) -> PhysicalOperator:
     """Compile an optimizer-extracted plan tree into a physical pipeline.
 
@@ -564,6 +581,11 @@ def compile_plan(
     With ``strict`` set, steps that cannot be compiled raise
     :class:`PhysicalPlanError`; otherwise they degrade to a
     :class:`LogicalFallback` over the step's logical expression.
+
+    ``observer`` instruments every compiled operator that carries a logical
+    expression payload: it is called with the originating plan step and the
+    actual output bag, which is how the physical layer feeds observed
+    cardinalities back into the :class:`CardinalityEstimator`.
     """
 
     def fail(message: str, node: PlanNode) -> PhysicalOperator:
@@ -571,7 +593,15 @@ def compile_plan(
             raise PhysicalPlanError(f"{message} (plan step: {node.description})")
         return LogicalFallback(database, node.expression, materialized)
 
+    def instrument(node: PlanNode, compiled: PhysicalOperator) -> PhysicalOperator:
+        if observer is not None and node.expression is not None:
+            compiled.feedback = lambda result, _node=node: observer(_node, result)
+        return compiled
+
     def compile_node(node: PlanNode) -> PhysicalOperator:
+        return instrument(node, compile_step(node))
+
+    def compile_step(node: PlanNode) -> PhysicalOperator:
         if node.reused:
             return compile_reuse(node)
         op = node.operator
@@ -673,9 +703,10 @@ def execute_plan(
     materialized: Optional[MaterializedRegistry] = None,
     strict: bool = False,
     output_schema: Optional[Schema] = None,
+    observer: Optional[PlanObserver] = None,
 ) -> Relation:
     """Compile and run one optimizer plan; optionally conform the output."""
-    pipeline = compile_plan(plan, database, materialized, strict=strict)
+    pipeline = compile_plan(plan, database, materialized, strict=strict, observer=observer)
     result = pipeline.execute()
     if output_schema is not None:
         result = _conform(result, output_schema)
@@ -692,6 +723,14 @@ class PhysicalExecutor:
     interface, with a per-expression plan cache.  Materialized views
     registered in a :class:`MaterializedRegistry` participate both as reuse
     opportunities during planning and as resolution targets at compile time.
+
+    Every plan's estimates come from one shared
+    :class:`~repro.catalog.estimator.CardinalityEstimator`.  With
+    ``feedback`` enabled (the default) executed operators report their
+    actual output cardinalities back to that estimator, keyed by the plan
+    step's canonical expression; a cached plan whose recorded estimates
+    drift from observed truth beyond the estimator's threshold is dropped
+    and re-optimized against the corrected cardinalities on its next use.
     """
 
     def __init__(
@@ -699,11 +738,18 @@ class PhysicalExecutor:
         database: Database,
         cost_model: Optional[CostModel] = None,
         strict: bool = False,
+        estimator: Optional[CardinalityEstimator] = None,
+        feedback: bool = True,
     ) -> None:
         self.database = database
         self.cost_model = cost_model or CostModel()
         self.strict = strict
-        self._plans: Dict[str, Tuple[PlanNode, Schema]] = {}
+        self.estimator = estimator or CardinalityEstimator(database.catalog)
+        self.feedback = feedback
+        #: Cached plans: key -> (plan, output schema, estimate snapshot).
+        #: The snapshot records the cardinality each plan step was costed
+        #: with, so runtime observations can invalidate mis-costed plans.
+        self._plans: Dict[str, Tuple[PlanNode, Schema, Dict[str, float]]] = {}
 
     # ------------------------------------------------------------------ caching
 
@@ -723,6 +769,20 @@ class PhysicalExecutor:
 
     # ---------------------------------------------------------------- planning
 
+    @staticmethod
+    def _estimate_snapshot(plan: PlanNode) -> Dict[str, float]:
+        """Canonical expression → estimated cardinality, per plan step."""
+        snapshot: Dict[str, float] = {}
+
+        def walk(node: PlanNode) -> None:
+            if node.expression is not None:
+                snapshot.setdefault(node.expression.canonical(), node.cardinality)
+            for child in node.children:
+                walk(child)
+
+        walk(plan)
+        return snapshot
+
     def plan(
         self,
         expression: Expression,
@@ -732,9 +792,13 @@ class PhysicalExecutor:
         key = self._cache_key(expression, materialized)
         cached = self._plans.get(key)
         if cached is not None:
-            return cached
+            if not (self.feedback and self.estimator.plan_drifted(cached[2])):
+                return cached[0], cached[1]
+            # Observed cardinalities disagree with what this plan was costed
+            # with: drop it and re-optimize against the corrected estimates.
+            del self._plans[key]
         catalog = self.database.catalog
-        builder = DagBuilder(catalog)
+        builder = DagBuilder(catalog, estimator=self.estimator)
         builder.add_query("__physical__", expression)
         dag = builder.finish()
         materialized_ids = set()
@@ -758,7 +822,7 @@ class PhysicalExecutor:
         outcome = search.optimize(materialized=materialized_ids)
         plan = outcome.extract_plan(dag.roots["__physical__"].id)
         schema = derive_schema(expression, catalog)
-        self._plans[key] = (plan, schema)
+        self._plans[key] = (plan, schema, self._estimate_snapshot(plan))
         return plan, schema
 
     # --------------------------------------------------------------- execution
@@ -797,6 +861,7 @@ class PhysicalExecutor:
                 materialized,
                 strict=self.strict,
                 output_schema=schema,
+                observer=self._record_actual if self.feedback else None,
             )
         except (PhysicalPlanError, SchemaError, DatabaseError) as exc:
             # Execution-time *resolution* failures (a reused view dropped
@@ -809,6 +874,24 @@ class PhysicalExecutor:
                     f"cannot execute {expression.canonical()} physically: {exc}"
                 ) from exc
             return evaluate(expression, self.database, materialized)
+
+    # ----------------------------------------------------------------- feedback
+
+    def _record_actual(self, node: PlanNode, result: Relation) -> None:
+        """Feed one plan step's observed output cardinality to the estimator.
+
+        The canonical key and base-relation set are memoized on the plan
+        node (plans are cached and re-executed many times; re-deriving the
+        canonical form per operator execution would dominate small deltas).
+        """
+        cached = getattr(node, "_feedback_key", None)
+        if cached is None:
+            cached = (node.expression.canonical(), frozenset(base_relations(node.expression)))
+            node._feedback_key = cached
+        key, relations = cached
+        self.estimator.record_actual(
+            key, node.cardinality, float(len(result)), relations=relations
+        )
 
 
 def evaluate_physical(

@@ -26,7 +26,8 @@ from contextlib import contextmanager
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.catalog.catalog import Catalog
-from repro.catalog.statistics import TableStats, estimate_join_cardinality, merge_column_stats
+from repro.catalog.estimator import CardinalityEstimator
+from repro.catalog.statistics import TableStats
 from repro.maintenance.diff_dag import DifferentialAnnotations, ResultKey
 from repro.maintenance.update_spec import UpdateSpec
 from repro.optimizer.cost_model import CostModel, InputDescriptor
@@ -46,12 +47,20 @@ class MaintenanceCostEngine:
         spec: UpdateSpec,
         cost_model: Optional[CostModel] = None,
         annotations: Optional[DifferentialAnnotations] = None,
+        estimator: Optional[CardinalityEstimator] = None,
     ) -> None:
         self.dag = dag
         self.catalog = catalog
         self.spec = spec
         self.cost_model = cost_model or CostModel()
-        self.annotations = annotations or DifferentialAnnotations(dag, catalog, spec)
+        #: The shared estimator all cardinality questions route through
+        #: (the annotations' estimator unless one is injected explicitly).
+        if estimator is None and annotations is not None:
+            estimator = annotations.estimator
+        self.estimator = estimator or CardinalityEstimator(catalog)
+        self.annotations = annotations or DifferentialAnnotations(
+            dag, catalog, spec, estimator=self.estimator
+        )
 
         #: Materialized results (full results and differentials).
         self.materialized: Set[ResultKey] = set()
@@ -428,16 +437,8 @@ class MaintenanceCostEngine:
         # (δE1 ⋈ E2_old) ∪ (E1_new ⋈ δE2)  — paper §5.3.
         left_delta_stats = self.annotations.delta_stats(left.id, update.number)
         right_delta_stats = self.annotations.delta_stats(right.id, update.number)
-        part1 = TableStats(
-            estimate_join_cardinality(left_delta_stats, right.stats, op.conditions),
-            left_delta_stats.tuple_width + right.stats.tuple_width,
-            merge_column_stats(left_delta_stats.column_stats, right.stats.column_stats),
-        )
-        part2 = TableStats(
-            estimate_join_cardinality(left.stats, right_delta_stats, op.conditions),
-            left.stats.tuple_width + right_delta_stats.tuple_width,
-            merge_column_stats(left.stats.column_stats, right_delta_stats.column_stats),
-        )
+        part1 = self.estimator.join_stats(left_delta_stats, right.stats, op.conditions)
+        part2 = self.estimator.join_stats(left.stats, right_delta_stats, op.conditions)
         cost1, _ = cm.join_cost(
             op.conditions,
             self._delta_descriptor(left, update),

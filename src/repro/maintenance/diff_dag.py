@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algebra.schema_derivation import derive_stats
 from repro.catalog.catalog import Catalog
+from repro.catalog.estimator import CardinalityEstimator
 from repro.catalog.statistics import TableStats
 from repro.optimizer.dag import Dag, EquivalenceNode
 from repro.storage.delta import DeltaKind, UpdateId
@@ -55,6 +56,9 @@ class DeltaCatalog(Catalog):
         if name == self._relation:
             return self._delta_stats
         return self._base.stats(name)
+
+    def stats_version(self, name: str) -> int:
+        return self._base.stats_version(name)
 
     def indexes(self, table: str):
         return self._base.indexes(table)
@@ -94,10 +98,17 @@ class ResultKey:
 class DifferentialAnnotations:
     """Per-node, per-update logical properties of differentials."""
 
-    def __init__(self, dag: Dag, catalog: Catalog, spec: UpdateSpec) -> None:
+    def __init__(
+        self,
+        dag: Dag,
+        catalog: Catalog,
+        spec: UpdateSpec,
+        estimator: Optional[CardinalityEstimator] = None,
+    ) -> None:
         self.dag = dag
         self.catalog = catalog
         self.spec = spec
+        self.estimator = estimator or CardinalityEstimator(catalog)
         # Propagation order: base relations appearing anywhere in the DAG,
         # ordered by the spec's relation order (fallback: sorted names).
         present = set()
@@ -120,10 +131,15 @@ class DifferentialAnnotations:
             delta_relation_stats = self.spec.delta_stats(self.catalog, update.relation, update.kind)
             delta_catalog = DeltaCatalog(self.catalog, update.relation, delta_relation_stats)
             self._delta_catalogs[update.number] = delta_catalog
+            # Per-update estimator clone: the delta catalog disagrees with
+            # the base catalog about the updated relation, so the memoized
+            # estimates must not be shared; full-result feedback does not
+            # describe differentials, so it is disabled for these.
+            delta_estimator = self.estimator.for_catalog(delta_catalog, use_feedback=False)
             for node in self.dag.equivalence_nodes:
                 if update.relation not in node.base_relations:
                     continue
-                stats = derive_stats(node.expression, delta_catalog)
+                stats = derive_stats(node.expression, delta_catalog, estimator=delta_estimator)
                 self._delta_stats[(node.id, update.number)] = stats
 
     # ----------------------------------------------------------------- lookups

@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.algebra.expressions import Expression, base_relations
 from repro.catalog.catalog import Catalog
+from repro.catalog.estimator import CardinalityEstimator
 from repro.maintenance.candidates import Candidate, enumerate_candidates
 from repro.maintenance.cost_engine import MaintenanceCostEngine
 from repro.maintenance.diff_dag import DifferentialAnnotations, ResultKey
@@ -74,8 +75,12 @@ class ViewMaintenanceOptimizer:
         use_monotonicity: bool = True,
         expand_joins: bool = True,
         enable_subsumption: bool = True,
+        estimator: Optional[CardinalityEstimator] = None,
     ) -> None:
         self.catalog = catalog
+        #: The single estimator every cardinality in this optimizer's DAGs,
+        #: differential annotations and cost recurrences comes from.
+        self.estimator = estimator or CardinalityEstimator(catalog)
         self.cost_model = cost_model or CostModel()
         self.include_differential_candidates = include_differential_candidates
         self.include_index_candidates = include_index_candidates
@@ -91,6 +96,7 @@ class ViewMaintenanceOptimizer:
             self.catalog,
             expand_joins=self.expand_joins,
             enable_subsumption=self.enable_subsumption,
+            estimator=self.estimator,
         )
         for name, expression in views.items():
             builder.add_query(name, expression)
@@ -98,9 +104,16 @@ class ViewMaintenanceOptimizer:
 
         relations = sorted({r for expr in views.values() for r in base_relations(expr)})
         restricted = spec.restricted_to(relations)
-        annotations = DifferentialAnnotations(dag, self.catalog, restricted)
+        annotations = DifferentialAnnotations(
+            dag, self.catalog, restricted, estimator=self.estimator
+        )
         engine = MaintenanceCostEngine(
-            dag, self.catalog, restricted, cost_model=self.cost_model, annotations=annotations
+            dag,
+            self.catalog,
+            restricted,
+            cost_model=self.cost_model,
+            annotations=annotations,
+            estimator=self.estimator,
         )
         engine.set_materialized(
             ResultKey(dag.roots[name].id, 0) for name in views

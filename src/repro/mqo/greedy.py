@@ -23,6 +23,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 
 from repro.algebra.expressions import Expression
 from repro.catalog.catalog import Catalog
+from repro.catalog.estimator import CardinalityEstimator
 from repro.mqo.sharing import sharable_candidates
 from repro.optimizer.cost_model import CostModel
 from repro.optimizer.dag import Dag, EquivalenceNode
@@ -65,8 +66,13 @@ class MultiQueryOptimizer:
         cost_model: Optional[CostModel] = None,
         use_monotonicity: bool = True,
         apply_sharability_pruning: bool = True,
+        estimator: Optional[CardinalityEstimator] = None,
     ) -> None:
         self.catalog = catalog
+        #: All cardinality/selectivity estimation for the batch routes
+        #: through this single estimator (shared sub-expressions are priced
+        #: identically wherever they appear).
+        self.estimator = estimator or CardinalityEstimator(catalog)
         self.cost_model = cost_model or CostModel()
         self.use_monotonicity = use_monotonicity
         self.apply_sharability_pruning = apply_sharability_pruning
@@ -76,7 +82,7 @@ class MultiQueryOptimizer:
     def optimize(self, queries: Mapping[str, Expression]) -> MqoResult:
         """Choose temporary materializations for ``queries`` and price the batch."""
         started = time.perf_counter()
-        builder = DagBuilder(self.catalog)
+        builder = DagBuilder(self.catalog, estimator=self.estimator)
         for name, expression in queries.items():
             builder.add_query(name, expression)
         dag = builder.finish()

@@ -47,8 +47,9 @@ from repro.algebra.rewrite import (
     left_deep_join,
     push_down_selections,
 )
-from repro.algebra.schema_derivation import derive_schema, derive_stats
+from repro.algebra.schema_derivation import derive_schema
 from repro.catalog.catalog import Catalog
+from repro.catalog.estimator import CardinalityEstimator
 from repro.optimizer.dag import Dag, EquivalenceNode, Operator, OperatorKind
 
 
@@ -61,8 +62,14 @@ class DagBuilder:
         expand_joins: bool = True,
         enable_subsumption: bool = True,
         max_expanded_leaves: int = 10,
+        estimator: Optional[CardinalityEstimator] = None,
     ) -> None:
         self.catalog = catalog
+        #: The shared cardinality estimator every equivalence node's
+        #: statistics come from; callers pass their session estimator so
+        #: memoized estimates and runtime-feedback corrections carry across
+        #: DAG builds.
+        self.estimator = estimator or CardinalityEstimator(catalog)
         self.dag = Dag()
         self.expand_joins = expand_joins
         self.enable_subsumption = enable_subsumption
@@ -152,7 +159,7 @@ class DagBuilder:
             key,
             expression,
             derive_schema(expression, self.catalog),
-            derive_stats(expression, self.catalog),
+            self.estimator.stats(expression),
             base_relations(expression),
             is_base_relation=is_base_relation,
         )
@@ -380,9 +387,15 @@ def build_dag(
     catalog: Catalog,
     expand_joins: bool = True,
     enable_subsumption: bool = True,
+    estimator: Optional[CardinalityEstimator] = None,
 ) -> Dag:
     """Convenience wrapper: build the expanded DAG for named expressions."""
-    builder = DagBuilder(catalog, expand_joins=expand_joins, enable_subsumption=enable_subsumption)
+    builder = DagBuilder(
+        catalog,
+        expand_joins=expand_joins,
+        enable_subsumption=enable_subsumption,
+        estimator=estimator,
+    )
     for name, expression in expressions.items():
         builder.add_query(name, expression)
     return builder.finish()

@@ -9,6 +9,7 @@ incremental refresh produces the same bag as recomputation.
 
 from __future__ import annotations
 
+import random
 from collections import Counter
 from operator import itemgetter as _itemgetter
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -16,6 +17,27 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 from repro.catalog.schema import Column, ColumnType, Schema
 
 Row = Tuple[Any, ...]
+
+
+def reservoir_sample(rows: Iterable[Row], k: int, rng: random.Random) -> List[Row]:
+    """Uniform sample of up to ``k`` rows in one pass (Vitter's algorithm R).
+
+    Works for arbitrary iterables (streams of tuples), which is what lets
+    statistics measurement avoid materializing or re-scanning a relation:
+    one pass fills the reservoir, everything downstream (distinct counts,
+    histograms) is bounded by ``k`` instead of the relation size.
+    """
+    if k <= 0:
+        return []
+    reservoir: List[Row] = []
+    for i, row in enumerate(rows):
+        if i < k:
+            reservoir.append(row)
+        else:
+            j = rng.randint(0, i)
+            if j < k:
+                reservoir[j] = row
+    return reservoir
 
 
 class Relation:
@@ -145,6 +167,17 @@ class Relation:
     def counter(self) -> Counter:
         """Counted multiset view of the bag."""
         return Counter(self._rows)
+
+    def sample(self, k: int, seed: int = 8191) -> List[Row]:
+        """A deterministic uniform sample of up to ``k`` rows.
+
+        Used by statistics measurement (:meth:`TableStats.from_relation`) so
+        distinct counts and histograms never require a full per-column scan
+        of a large relation.
+        """
+        if k >= len(self._rows):
+            return list(self._rows)
+        return reservoir_sample(self._rows, k, random.Random(seed))
 
     def copy(self, name: str = "") -> "Relation":
         """A shallow copy of the relation."""

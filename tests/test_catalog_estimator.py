@@ -1,0 +1,162 @@
+"""Unit tests for the unified cardinality estimator."""
+
+import pytest
+
+from repro.algebra.expressions import Aggregate, AggregateFunc, AggregateSpec, BaseRelation, Select
+from repro.algebra.predicates import lt
+from repro.catalog.catalog import Catalog
+from repro.catalog.estimator import CardinalityEstimator, qerror
+from repro.catalog.schema import Column, ColumnType, Schema, TableDef
+from repro.catalog.statistics import ColumnStats, Histogram, TableStats
+
+
+def _register(catalog: Catalog, name: str, columns, stats: TableStats) -> None:
+    schema = Schema(tuple(Column(c, ColumnType.FLOAT) for c in columns))
+    catalog.register_table(TableDef(name, schema), stats=stats)
+
+
+@pytest.fixture
+def skewed_catalog() -> Catalog:
+    """One table whose ``v`` column is heavily skewed toward small values."""
+    catalog = Catalog()
+    # 900 rows in [0, 10], 100 rows in (10, 100]: decidedly non-uniform.
+    histogram = Histogram(bounds=(0.0, 5.0, 10.0, 55.0, 100.0), counts=(450.0, 450.0, 50.0, 50.0))
+    stats = TableStats(
+        1000.0,
+        16,
+        {
+            "k": ColumnStats(distinct=1000.0, min_value=1.0, max_value=1000.0),
+            "v": ColumnStats(distinct=100.0, min_value=0.0, max_value=100.0, histogram=histogram),
+        },
+    )
+    _register(catalog, "skewed", ["k", "v"], stats)
+    return catalog
+
+
+def test_qerror_is_symmetric_and_floored():
+    assert qerror(10.0, 10.0) == 1.0
+    assert qerror(10.0, 100.0) == qerror(100.0, 10.0)
+    assert qerror(3.0, 0.0) == 4.0  # +1 smoothing keeps empty results finite
+
+
+def test_histogram_selectivity_beats_uniform_interpolation(skewed_catalog):
+    expression = Select(BaseRelation("skewed"), lt("v", 10.0))
+    with_hist = CardinalityEstimator(skewed_catalog, use_histograms=True)
+    uniform = CardinalityEstimator(skewed_catalog, use_histograms=False)
+    # True cardinality is ~900; uniform interpolation says 10% of 1000.
+    assert uniform.cardinality(expression) == pytest.approx(100.0)
+    assert with_hist.cardinality(expression) == pytest.approx(900.0, rel=0.05)
+
+
+def test_histogram_selectivity_exact_outside_range(skewed_catalog):
+    estimator = CardinalityEstimator(skewed_catalog)
+    below = Select(BaseRelation("skewed"), lt("v", -5.0))
+    above = Select(BaseRelation("skewed"), lt("v", 500.0))
+    assert estimator.cardinality(below) == 0.0
+    assert estimator.cardinality(above) == pytest.approx(1000.0)
+
+
+def test_equality_selectivity_uses_spike_buckets():
+    histogram = Histogram(bounds=(1.0, 1.0, 10.0), counts=(500.0, 500.0))
+    col = ColumnStats(distinct=10.0, min_value=1.0, max_value=10.0, histogram=histogram)
+    # Half the rows are the heavy value 1 — far more than 1/distinct.
+    assert histogram.equal_fraction(1.0, col.distinct) == pytest.approx(0.5)
+    assert histogram.equal_fraction(50.0, col.distinct) == 0.0
+
+
+def test_stats_memoized_until_catalog_version_changes(skewed_catalog):
+    estimator = CardinalityEstimator(skewed_catalog)
+    expression = Select(BaseRelation("skewed"), lt("v", 10.0))
+    first = estimator.stats(expression)
+    assert estimator.stats(expression) is first
+    # Re-registering the table's statistics bumps its version: the memo
+    # entry is revalidated and recomputed.
+    skewed_catalog.register_table_stats(
+        "skewed", TableStats(10.0, 16, {"v": ColumnStats(distinct=5.0)})
+    )
+    second = estimator.stats(expression)
+    assert second is not first
+    assert second.cardinality < first.cardinality
+
+
+def test_feedback_observation_overrides_estimate(skewed_catalog):
+    estimator = CardinalityEstimator(skewed_catalog)
+    expression = Select(BaseRelation("skewed"), lt("v", 10.0))
+    estimated = estimator.cardinality(expression)
+    drifted = estimator.record_actual(expression, estimated, 333.0)
+    assert drifted  # 900 vs 333 is past the 2.0 threshold
+    assert estimator.cardinality(expression) == 333.0
+
+
+def test_feedback_invalidates_embedding_expressions(skewed_catalog):
+    estimator = CardinalityEstimator(skewed_catalog)
+    child = Select(BaseRelation("skewed"), lt("v", 10.0))
+    parent = Aggregate(child, ["v"], [AggregateSpec(AggregateFunc.COUNT, None, "n")])
+    before = estimator.stats(parent)
+    estimator.record_actual(child, estimator.cardinality(child), 3.0)
+    after = estimator.stats(parent)
+    # The parent's group count is capped by its child cardinality, which the
+    # observation just corrected downward.
+    assert after.cardinality <= before.cardinality
+    assert estimator.cardinality(child) == 3.0
+
+
+def test_observation_expires_when_base_stats_change(skewed_catalog):
+    estimator = CardinalityEstimator(skewed_catalog)
+    expression = Select(BaseRelation("skewed"), lt("v", 10.0))
+    estimator.record_actual(expression, estimator.cardinality(expression), 42.0)
+    key = expression.canonical()
+    assert estimator.observed_cardinality(key) == 42.0
+    skewed_catalog.register_table_stats(
+        "skewed", TableStats(2000.0, 16, {"v": ColumnStats(distinct=100.0)})
+    )
+    assert estimator.observed_cardinality(key) is None
+
+
+def test_plan_drifted_flags_stale_snapshots(skewed_catalog):
+    estimator = CardinalityEstimator(skewed_catalog)
+    expression = Select(BaseRelation("skewed"), lt("v", 10.0))
+    key = expression.canonical()
+    snapshot = {key: 100.0}
+    assert not estimator.plan_drifted(snapshot)  # no observation yet
+    estimator.record_actual(expression, 100.0, 100.0)
+    assert not estimator.plan_drifted(snapshot)  # agrees
+    estimator.record_actual(expression, 100.0, 900.0)
+    assert estimator.plan_drifted(snapshot)  # 9x disagreement
+    assert not CardinalityEstimator(skewed_catalog, use_feedback=False).plan_drifted(snapshot)
+
+
+def test_for_catalog_clone_shares_observations_but_not_memo(skewed_catalog):
+    estimator = CardinalityEstimator(skewed_catalog)
+    other = Catalog()
+    _register(
+        other,
+        "skewed",
+        ["k", "v"],
+        TableStats(7.0, 16, {"v": ColumnStats(distinct=3.0)}),
+    )
+    clone = estimator.for_catalog(other, use_feedback=False)
+    expression = BaseRelation("skewed")
+    assert estimator.cardinality(expression) == 1000.0
+    assert clone.cardinality(expression) == 7.0
+    estimator.record_actual(expression, 1000.0, 555.0)
+    assert clone._observations is estimator._observations
+    # The clone sees the shared store but, with feedback off, never applies it.
+    assert clone.cardinality(expression) == 7.0
+
+
+def test_join_stats_merges_columns_and_clamps(skewed_catalog):
+    estimator = CardinalityEstimator(skewed_catalog)
+    left = TableStats(100.0, 8, {"a": ColumnStats(distinct=100.0)})
+    right = TableStats(1000.0, 8, {"b": ColumnStats(distinct=100.0)})
+    joined = estimator.join_stats(left, right, [("a", "b")])
+    assert joined.cardinality == pytest.approx(1000.0)
+    assert joined.tuple_width == 16
+    assert joined.column("a") is not None and joined.column("b") is not None
+
+
+def test_comparison_selectivity_falls_back_without_histograms(skewed_catalog):
+    estimator = CardinalityEstimator(skewed_catalog, use_histograms=True)
+    stats = TableStats(100.0, 8, {"c": ColumnStats(distinct=10.0)})
+    # No histogram, no bounds: the System-R distinct-count formula applies.
+    assert estimator.comparison_selectivity("==", stats, "c", 5.0) == pytest.approx(0.1)

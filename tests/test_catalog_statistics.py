@@ -5,6 +5,7 @@ import pytest
 from repro.catalog.schema import Schema
 from repro.catalog.statistics import (
     ColumnStats,
+    Histogram,
     TableStats,
     difference_cardinality,
     distinct_cardinality,
@@ -117,3 +118,105 @@ def test_from_relation_measures_distincts_and_bounds():
     assert measured.distinct("a") == 2.0
     assert measured.column("b").min_value == 5.0
     assert measured.column("b").max_value == 7.0
+
+
+# ------------------------------------------------------- satellite regressions
+
+
+def test_lookup_prefers_exact_qualified_match():
+    stats = TableStats(
+        100.0,
+        8,
+        {
+            "orders.key": ColumnStats(distinct=10.0),
+            "lineitem.key": ColumnStats(distinct=50.0),
+        },
+    )
+    assert stats.column("lineitem.key").distinct == 50.0
+    assert stats.column("orders.key").distinct == 10.0
+
+
+def test_lookup_resolves_ambiguous_suffix_deterministically():
+    """An ambiguous unqualified suffix must not drop to the magic-constant path."""
+    stats = TableStats(
+        100.0,
+        8,
+        {
+            "orders.key": ColumnStats(distinct=10.0),
+            "lineitem.key": ColumnStats(distinct=50.0),
+        },
+    )
+    resolved = stats.column("key")
+    assert resolved is not None
+    # Deterministic: the lexicographically smallest qualified name wins.
+    assert resolved.distinct == 50.0
+    # And therefore real statistics are used instead of the 10% fallback.
+    assert stats.distinct("key") == 50.0
+
+
+def test_range_selectivity_exact_outside_bounds(stats):
+    # value column spans [0, 100]; values strictly outside are exact 0/1,
+    # not the 1/cardinality clamp.
+    assert estimate_selectivity("<", stats, "value", -5) == 0.0
+    assert estimate_selectivity("<=", stats, "value", -5) == 0.0
+    assert estimate_selectivity(">", stats, "value", -5) == 1.0
+    assert estimate_selectivity(">=", stats, "value", -5) == 1.0
+    assert estimate_selectivity("<", stats, "value", 200) == 1.0
+    assert estimate_selectivity(">", stats, "value", 200) == 0.0
+    assert estimate_selectivity(">=", stats, "value", 200) == 0.0
+
+
+# ----------------------------------------------------------------- histograms
+
+
+def test_equi_depth_histogram_from_values():
+    histogram = Histogram.from_values(list(range(100)), buckets=4)
+    assert histogram.total == 100.0
+    assert histogram.min_value == 0.0 and histogram.max_value == 99.0
+    assert histogram.fraction_at_most(49) == pytest.approx(0.5, abs=0.03)
+    assert histogram.fraction_at_most(-1) == 0.0
+    assert histogram.fraction_at_most(1000) == 1.0
+
+
+def test_histogram_scaled_from_sample():
+    histogram = Histogram.from_values([1, 2, 3, 4], buckets=2, scale=25.0)
+    assert histogram.total == 100.0
+
+
+def test_histogram_shifted_moves_counts_and_widens_bounds():
+    histogram = Histogram.from_values(list(range(10)), buckets=2)
+    inserted = histogram.shifted([0, 1, 2, 15], sign=1)
+    assert inserted.total == histogram.total + 4
+    assert inserted.max_value == 15.0
+    deleted = inserted.shifted([0, 1], sign=-1)
+    assert deleted.total == inserted.total - 2
+    # Deletes never push a bucket negative.
+    drained = histogram.shifted([0] * 100, sign=-1)
+    assert all(c >= 0 for c in drained.counts)
+
+
+def test_sampled_measurement_stays_close_to_exact():
+    schema = Schema.from_names(["v"])
+    rows = [(i % 500,) for i in range(20000)]
+    relation = Relation(schema, rows)
+    sampled = TableStats.from_relation(relation, sample_size=2000)
+    exact = TableStats.from_relation(relation, sample_size=50000)
+    assert sampled.cardinality == exact.cardinality == 20000.0
+    # GEE distinct estimate within a factor of 2 of the true 500.
+    assert 250.0 <= sampled.distinct("v") <= 1000.0
+    # The histogram totals the full cardinality even though it was sampled.
+    assert sampled.column("v").histogram.total == pytest.approx(20000.0, rel=0.01)
+
+
+def test_updated_by_delta_maintains_bounds_and_histogram():
+    schema = Schema.from_names(["v"])
+    relation = Relation(schema, [(float(i),) for i in range(100)])
+    stats = TableStats.from_relation(relation)
+    inserts = Relation(schema, [(150.0,), (2.0,)])
+    updated = stats.updated_by_delta(inserts, sign=1)
+    assert updated.cardinality == 102.0
+    assert updated.column("v").max_value == 150.0
+    assert updated.column("v").histogram.total == pytest.approx(102.0)
+    shrunk = updated.updated_by_delta(Relation(schema, [(2.0,)]), sign=-1)
+    assert shrunk.cardinality == 101.0
+    assert shrunk.column("v").histogram.total == pytest.approx(101.0)

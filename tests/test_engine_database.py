@@ -216,5 +216,11 @@ def test_base_table_cardinality_tracks_updates_cheaply(star_database):
     )
     refreshed = star_database.catalog.stats("sales")
     assert refreshed.cardinality == full.cardinality + 1
-    # Column distributions come from the last full measurement.
-    assert refreshed.column("amount").min_value == full.column("amount").min_value
+    # Column distributions are maintained incrementally from the delta bag:
+    # the inserted amount of 5.0 widens the min bound and lands in the
+    # histogram, whose total tracks the new cardinality.
+    assert refreshed.column("amount").min_value == 5.0
+    assert refreshed.column("amount").max_value == full.column("amount").max_value
+    histogram = refreshed.column("amount").histogram
+    assert histogram is not None
+    assert histogram.total == full.column("amount").histogram.total + 1
