@@ -5,24 +5,28 @@ queries share nothing, but a globally optimal choice evaluates one of them
 through a non-optimal join order so that ``orders ⋈ customer`` can be
 computed once, materialized temporarily, and reused by both.
 
+The batch goes through the :class:`Warehouse` façade
+(``optimize_queries``), with the queries written as fluent :class:`Q`
+chains; explicit join orders matter here, so each chain spells out its
+join sequence.
+
 Run with:  python examples/multi_query_sharing.py
+(after ``pip install -e .`` — or with PYTHONPATH=src)
 """
 
-import os
-import sys
-
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
-
-from repro.mqo import MultiQueryOptimizer
-from repro.workloads import queries, tpcd
+from repro import Q, Warehouse
 
 
 def main() -> None:
-    catalog = tpcd.tpcd_catalog(scale_factor=0.1)
-    optimizer = MultiQueryOptimizer(catalog)
+    wh = Warehouse().load(scale=0.1)
 
-    batch = queries.example_3_1_queries()
-    result = optimizer.optimize(batch)
+    # Q1 = (orders ⋈ customer) ⋈ lineitem, Q2 = (customer ⋈ nation) ⋈ orders:
+    # Q2's alternative plan (orders ⋈ customer) ⋈ nation shares a join with Q1.
+    batch = {
+        "Q1": Q.table("orders").join("customer").join("lineitem"),
+        "Q2": Q.table("customer").join("nation").join("orders"),
+    }
+    result = wh.optimize_queries(batch)
 
     print("query batch:", ", ".join(batch))
     print(f"cost optimizing each query independently : {result.unshared_cost:10.2f}")

@@ -1,8 +1,10 @@
 """Quickstart: optimize the maintenance of one warehouse view.
 
-Builds the TPC-D catalog at the paper's scale factor, defines a single
-materialized view (a join of four relations with an aggregation on top),
-and compares the two algorithms of the paper for a 5% update batch:
+Everything goes through the public façade (:mod:`repro.api`): a
+:class:`Warehouse` session loads the TPC-D statistics at the paper's scale
+factor, a fluent :class:`Q` chain defines a single materialized view
+(revenue per nation over a four-relation join), and the two algorithms of
+the paper are compared for a 5% update batch:
 
 * ``NoGreedy`` — plain optimizer choice between recomputing the view and
   propagating differentials;
@@ -10,42 +12,37 @@ and compares the two algorithms of the paper for a 5% update batch:
   materialize, temporarily or permanently, to speed the refresh up.
 
 Run with:  python examples/quickstart.py
+(after ``pip install -e .`` — or with PYTHONPATH=src)
 """
 
-import os
-import sys
-
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
-
-from repro.maintenance import UpdateSpec, ViewMaintenanceOptimizer
-from repro.workloads import queries, tpcd
+from repro import Q, Warehouse, WarehouseConfig
 
 
 def main() -> None:
-    # 1. The catalog: TPC-D at scale factor 0.1 (~100 MB), PK indexes present.
-    catalog = tpcd.tpcd_catalog(scale_factor=0.1)
+    # One session object owns catalog, estimator, optimizer and refresher.
+    # The "paper" profile reproduces the paper's setting: TPC-D statistics,
+    # primary-key indexes predeclared, a 5% update batch with twice as many
+    # inserts as deletes.
+    wh = Warehouse(WarehouseConfig.profile("paper")).load(scale=0.1)
 
-    # 2. The materialized view to maintain: revenue per nation.
-    views = queries.standalone_agg_view()
+    # The materialized view to maintain: revenue per nation.
+    wh.define_view(
+        "v_revenue_by_nation",
+        Q.table("lineitem").join("orders").join("customer").join("nation")
+         .group_by("n_name")
+         .sum("l_extendedprice", "revenue")
+         .count("order_lines"),
+    )
 
-    # 3. The update batch: 5% inserts and 2.5% deletes on every relation.
-    spec = UpdateSpec.uniform(0.05)
+    no_greedy = wh.optimize(greedy=False)
+    greedy = wh.optimize(greedy=True)
 
-    optimizer = ViewMaintenanceOptimizer(catalog)
-    no_greedy = optimizer.no_greedy(views, spec)
-    greedy = optimizer.optimize(views, spec)
-
-    print("view:", ", ".join(views))
-    print(f"update batch: {spec.describe()}")
+    print("view:", ", ".join(wh.views))
+    print(f"update batch: {wh.update_spec().describe()}")
     print()
     print(f"NoGreedy refresh cost : {no_greedy.total_cost:10.2f} (estimated seconds)")
     print(f"Greedy refresh cost   : {greedy.total_cost:10.2f}")
     print(f"benefit ratio         : {no_greedy.total_cost / greedy.total_cost:10.2f}x")
-    print()
-    decision = greedy.plan.decisions[0]
-    print(f"chosen strategy for {decision.view}: {decision.strategy}")
-    print(f"  recompute cost  : {decision.recompute_cost:.2f}")
-    print(f"  incremental cost: {decision.incremental_cost:.2f}")
     print()
     print("extra materializations chosen by Greedy:")
     for label in greedy.permanent_results:
@@ -54,6 +51,8 @@ def main() -> None:
         print(f"  temporary result : {label}")
     for label in greedy.indexes:
         print(f"  index            : {label}")
+    print()
+    print(wh.explain("v_revenue_by_nation"))
     print()
     print(f"optimization took {greedy.optimization_seconds*1000:.0f} ms")
 

@@ -2,43 +2,47 @@
 
 This is the scenario the paper's introduction motivates — a warehouse with a
 set of related materialized views and a nightly batch of inserts and deletes
-whose maintenance window keeps shrinking.  The script:
+whose maintenance window keeps shrinking.  One :class:`Warehouse` session
+owns the whole loop:
 
-1. generates a small executable TPC-D database;
-2. materializes five related views (the Figure 4(a) workload);
-3. asks the optimizer for maintenance plans (Greedy vs NoGreedy);
-4. executes the refresh with the executable engine, applying the optimizer's
-   per-view recompute-vs-incremental decisions;
-5. verifies that every refreshed view matches recomputation exactly.
+1. ``load()``       — the TPC-D planning statistics at the paper's scale;
+2. ``define_view`` — five related views (the Figure 4(a) workload), built
+   with the fluent :class:`Q` chains;
+3. ``optimize()``  — maintenance plans (Greedy vs NoGreedy);
+4. ``load_data()`` — a small executable TPC-D database;
+5. ``apply()``     — one transactional update+refresh step executing the
+   optimizer's per-view recompute-vs-incremental decisions;
+6. the ``verify`` profile checks every refreshed view against recomputation.
 
 Run with:  python examples/warehouse_refresh.py
+(after ``pip install -e .`` — or with PYTHONPATH=src)
 """
 
-import os
-import sys
-
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
-
-from repro.maintenance import UpdateSpec, ViewMaintenanceOptimizer, ViewRefresher
-from repro.workloads import datagen, queries, tpcd
-from repro.workloads.updategen import generate_deltas
+from repro import Q, Warehouse, WarehouseConfig
 
 
 def main() -> None:
     update_percentage = 0.10
 
-    # --- executable database (small scale factor so the script runs in seconds)
-    database = datagen.small_database(
-        scale_factor=0.001, seed=7,
-        tables=["region", "nation", "supplier", "customer", "orders", "lineitem"],
-    )
-    views = queries.view_set_plain()
+    # The "verify" profile makes apply() cross-check every differential
+    # against the interpreted oracle and every refreshed view against full
+    # recomputation — any divergence raises and rolls the batch back.
+    wh = Warehouse(WarehouseConfig.profile("verify", update_percentage=update_percentage))
+    wh.load(scale=0.1)
+
+    wh.define_views({
+        "v_cust_orders": Q.table("orders").join("customer"),
+        "v_cust_order_lines": Q.table("lineitem").join("orders").join("customer"),
+        "v_cust_order_nations": (
+            Q.table("lineitem").join("orders").join("customer").join("nation")
+        ),
+        "v_order_nations": Q.table("orders").join("customer").join("nation"),
+        "v_supplier_lines": Q.table("lineitem").join("supplier").join("nation"),
+    })
 
     # --- plan the refresh against the paper-scale statistics
-    optimizer = ViewMaintenanceOptimizer(tpcd.tpcd_catalog(scale_factor=0.1))
-    spec = UpdateSpec.uniform(update_percentage)
-    no_greedy = optimizer.no_greedy(views, spec)
-    greedy = optimizer.optimize(views, spec)
+    no_greedy = wh.optimize(greedy=False)
+    greedy = wh.optimize(greedy=True)
 
     print(f"planned refresh cost: NoGreedy={no_greedy.total_cost:.1f}  Greedy={greedy.total_cost:.1f}")
     print("per-view decisions under the Greedy configuration:")
@@ -50,24 +54,22 @@ def main() -> None:
     print("indexes chosen:", ", ".join(greedy.indexes) or "(none)")
     print()
 
-    # --- execute the refresh with the decisions the optimizer made
-    recompute = [d.view for d in greedy.plan.decisions if d.strategy == "recompute"]
-    refresher = ViewRefresher(database, views, recompute_views=recompute)
-    refresher.initialize_views()
-    relations = ["customer", "lineitem", "nation", "orders", "supplier"]
-    deltas = generate_deltas(database, spec.restricted_to(relations), relations, seed=2024)
-
-    report = refresher.refresh(deltas)
-    verification = refresher.verify_against_recomputation()
+    # --- execute the refresh on a small generated database (seconds, not hours)
+    wh.load_data(
+        scale=0.001, seed=7,
+        tables=["region", "nation", "supplier", "customer", "orders", "lineitem"],
+    )
+    report = wh.apply(update_percentage)
 
     print(f"refresh propagated {report.total_changes()} view-tuple changes "
           f"across {len(report.steps)} incremental steps;")
     print(f"views refreshed by recomputation: {report.recomputed_views or '(none)'}")
+    # Under the "verify" profile a mismatch never reaches this point:
+    # apply() rolls the batch back and raises WarehouseError instead.
+    assert report.verified
     print("verification against recomputation:")
-    for name, ok in verification.items():
-        print(f"  {name:24s} {'OK' if ok else 'MISMATCH'}")
-    if not all(verification.values()):
-        raise SystemExit(1)
+    for name in report.verification:
+        print(f"  {name:24s} OK")
 
 
 if __name__ == "__main__":

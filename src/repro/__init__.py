@@ -14,11 +14,50 @@ A from-scratch Python reproduction of Mistry, Roy, Ramamritham and Sudarshan,
   plans and greedy selection of extra temporary/permanent materializations
 * ``repro.workloads`` — TPC-D-style schema, data, update and view generators
 * ``repro.bench``     — experiment drivers reproducing the paper's figures
+* ``repro.api``       — the public façade: one :class:`Warehouse` session
+  object plus the fluent :class:`Q` view builder
+
+The supported entry point is the façade::
+
+    from repro import Q, Warehouse, WarehouseConfig
+
+    wh = Warehouse(WarehouseConfig.profile("paper")).load(scale=0.1)
+    wh.define_view(
+        "revenue",
+        Q.table("lineitem").join("orders").join("customer").join("nation")
+         .group_by("n_name").sum("l_extendedprice", "revenue"),
+    )
+    result = wh.optimize()
+    print(wh.explain("revenue"))
 """
 
-__version__ = "1.0.0"
+from repro.api import (
+    Q,
+    OptimizationResult,
+    RefreshReport,
+    UpdateSpec,
+    Warehouse,
+    WarehouseConfig,
+    WarehouseError,
+    WarehouseRefreshReport,
+    as_expression,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
+    # The public façade.
+    "Warehouse",
+    "WarehouseConfig",
+    "WarehouseError",
+    "WarehouseRefreshReport",
+    "Q",
+    "as_expression",
+    "UpdateSpec",
+    "RefreshReport",
+    "OptimizationResult",
+    # The substrate packages (importable for tests and advanced use).
+    "api",
     "catalog",
     "storage",
     "algebra",

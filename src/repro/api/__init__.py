@@ -1,0 +1,41 @@
+"""Public API: one session façade over the select–maintain–refresh pipeline.
+
+This package is the supported way to drive the reproduction:
+
+* :class:`Warehouse` — the session object owning catalog, database,
+  estimator, maintenance optimizer and refresher;
+* :class:`WarehouseConfig` — every knob in one validated dataclass, with
+  named profiles (``paper``, ``fast``, ``verify``);
+* :class:`Q` — the fluent view builder compiling to the logical algebra;
+* :class:`WarehouseError` — everything the façade raises on user mistakes,
+  always naming near-miss candidates for unknown names.
+
+The lower-level modules (``repro.maintenance``, ``repro.engine``, ...)
+remain importable for tests and advanced use, but examples and benchmarks
+construct the pipeline exclusively through this package.
+"""
+
+from repro.api.builder import Q, as_expression
+from repro.api.config import WarehouseConfig
+from repro.api.errors import WarehouseError
+from repro.api.warehouse import (
+    UpdateBatch,
+    Warehouse,
+    WarehouseRefreshReport,
+)
+from repro.maintenance.maintainer import RefreshReport
+from repro.maintenance.optimizer import OptimizationResult
+from repro.maintenance.update_spec import UpdateSpec
+
+__all__ = [
+    "Q",
+    "as_expression",
+    "OptimizationResult",
+    "RefreshReport",
+    "UpdateBatch",
+    "UpdateSpec",
+    "Warehouse",
+    "WarehouseConfig",
+    "WarehouseError",
+    "WarehouseRefreshReport",
+]

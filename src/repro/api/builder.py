@@ -1,0 +1,230 @@
+"""The fluent view builder.
+
+:class:`Q` is the public way to write a view definition:
+
+    Q.table("lineitem").join("orders").join("customer").join("nation")
+     .where(lt("o_totalprice", 100_000.0))
+     .group_by("n_name").sum("l_extendedprice", "revenue").count("order_lines")
+
+Every step returns a *new* builder (builders are immutable and freely
+reusable as prefixes), and :meth:`Q.build` compiles the chain into the
+existing logical algebra — the same left-deep
+:class:`~repro.algebra.expressions.Join` trees, :class:`Select`,
+:class:`Aggregate`, :class:`Project` and :class:`Distinct` nodes the
+hand-built workload definitions use — so everything downstream (DAG
+unification, costing, differentials, physical execution) is untouched.
+
+Join conditions are inferred from the TPC-D foreign-key join graph exactly
+the way :func:`repro.workloads.queries.chain_join` infers them (each new
+relation links to the first already-joined relation it has a natural join
+with); an explicit ``on=("l_orderkey", "o_orderkey")`` overrides inference,
+which also makes ``Q`` usable over non-TPC-D schemas.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.algebra.expressions import (
+    Aggregate,
+    AggregateFunc,
+    AggregateSpec,
+    BaseRelation,
+    Distinct,
+    Expression,
+    Join,
+    Project,
+    Select,
+)
+from repro.algebra.predicates import And, Predicate
+from repro.api.errors import WarehouseError
+from repro.workloads.queries import join_condition
+
+
+class Q:
+    """Immutable fluent builder compiling to a logical :class:`Expression`."""
+
+    def __init__(
+        self,
+        relations: Tuple[str, ...] = (),
+        joins: Tuple[Tuple[str, Optional[Tuple[str, str]]], ...] = (),
+        predicates: Tuple[Predicate, ...] = (),
+        groups: Tuple[str, ...] = (),
+        aggregates: Tuple[AggregateSpec, ...] = (),
+        projection: Optional[Tuple[str, ...]] = None,
+        distinct: bool = False,
+    ) -> None:
+        self._relations = relations
+        #: ``(relation, explicit_condition_or_None)`` per join step.
+        self._joins = joins
+        self._predicates = predicates
+        self._groups = groups
+        self._aggregates = aggregates
+        self._projection = projection
+        self._distinct = distinct
+
+    # ------------------------------------------------------------- construction
+
+    @classmethod
+    def table(cls, name: str) -> "Q":
+        """Start a query from one base relation."""
+        return cls(relations=(str(name),))
+
+    def _replace(self, **changes) -> "Q":
+        state = dict(
+            relations=self._relations,
+            joins=self._joins,
+            predicates=self._predicates,
+            groups=self._groups,
+            aggregates=self._aggregates,
+            projection=self._projection,
+            distinct=self._distinct,
+        )
+        state.update(changes)
+        return Q(**state)
+
+    def _require_start(self, step: str) -> None:
+        if not self._relations:
+            raise WarehouseError(f"start with Q.table(...) before calling .{step}()")
+
+    def join(self, relation: str, on: Optional[Tuple[str, str]] = None) -> "Q":
+        """Join another relation (condition inferred from the join graph
+        unless ``on=(left_column, right_column)`` is given)."""
+        self._require_start("join")
+        name = str(relation)
+        if name in self._relations:
+            raise WarehouseError(f"relation {name!r} is already part of this query")
+        condition = (str(on[0]), str(on[1])) if on is not None else None
+        return self._replace(
+            relations=self._relations + (name,),
+            joins=self._joins + ((name, condition),),
+        )
+
+    def where(self, predicate: Predicate) -> "Q":
+        """Filter by a predicate (:func:`repro.algebra.predicates.lt` etc.);
+        repeated calls conjoin."""
+        self._require_start("where")
+        if not isinstance(predicate, Predicate):
+            raise WarehouseError(
+                f"where() takes a Predicate (see repro.algebra.predicates), "
+                f"got {type(predicate).__name__}"
+            )
+        return self._replace(predicates=self._predicates + (predicate,))
+
+    def group_by(self, *columns: str) -> "Q":
+        """Group by the given columns (then chain .sum()/.count()/...)."""
+        self._require_start("group_by")
+        if not columns:
+            raise WarehouseError("group_by() needs at least one column")
+        return self._replace(groups=self._groups + tuple(str(c) for c in columns))
+
+    # ---------------------------------------------------------------- aggregates
+
+    def _aggregate(self, func: AggregateFunc, column: Optional[str], alias: Optional[str]) -> "Q":
+        self._require_start(func.value)
+        if alias is None:
+            alias = f"{func.value}_{column}" if column else func.value
+        return self._replace(
+            aggregates=self._aggregates + (AggregateSpec(func, column, alias),)
+        )
+
+    def sum(self, column: str, alias: Optional[str] = None) -> "Q":
+        """Add ``SUM(column) AS alias``."""
+        return self._aggregate(AggregateFunc.SUM, str(column), alias)
+
+    def count(self, alias: Optional[str] = None) -> "Q":
+        """Add ``COUNT(*) AS alias``."""
+        return self._aggregate(AggregateFunc.COUNT, None, alias)
+
+    def min(self, column: str, alias: Optional[str] = None) -> "Q":
+        """Add ``MIN(column) AS alias``."""
+        return self._aggregate(AggregateFunc.MIN, str(column), alias)
+
+    def max(self, column: str, alias: Optional[str] = None) -> "Q":
+        """Add ``MAX(column) AS alias``."""
+        return self._aggregate(AggregateFunc.MAX, str(column), alias)
+
+    def avg(self, column: str, alias: Optional[str] = None) -> "Q":
+        """Add ``AVG(column) AS alias``."""
+        return self._aggregate(AggregateFunc.AVG, str(column), alias)
+
+    # ------------------------------------------------------------ output shaping
+
+    def select(self, *columns: str) -> "Q":
+        """Project onto the given columns (duplicate-preserving)."""
+        self._require_start("select")
+        if not columns:
+            raise WarehouseError("select() needs at least one column")
+        return self._replace(projection=tuple(str(c) for c in columns))
+
+    def distinct(self) -> "Q":
+        """Eliminate duplicates from the result."""
+        self._require_start("distinct")
+        return self._replace(distinct=True)
+
+    # ----------------------------------------------------------------- compiling
+
+    def build(self) -> Expression:
+        """Compile the chain into a logical expression tree."""
+        self._require_start("build")
+        expression: Expression = BaseRelation(self._relations[0])
+        joined: List[str] = [self._relations[0]]
+        for name, explicit in self._joins:
+            condition = explicit if explicit is not None else self._infer(name, joined)
+            expression = Join(expression, BaseRelation(name), [condition])
+            joined.append(name)
+        if self._predicates:
+            predicate = (
+                self._predicates[0]
+                if len(self._predicates) == 1
+                else And(self._predicates)
+            )
+            expression = Select(expression, predicate)
+        if self._aggregates or self._groups:
+            if not self._aggregates:
+                raise WarehouseError(
+                    "group_by() without an aggregate — chain .sum()/.count()/"
+                    ".min()/.max()/.avg() after it"
+                )
+            expression = Aggregate(expression, self._groups, self._aggregates)
+        if self._projection is not None:
+            expression = Project(expression, self._projection)
+        if self._distinct:
+            expression = Distinct(expression)
+        return expression
+
+    @staticmethod
+    def _infer(name: str, joined: Sequence[str]) -> Tuple[str, str]:
+        """The natural join condition linking ``name`` to the chain so far."""
+        for prev in joined:
+            try:
+                return join_condition(prev, name)
+            except KeyError:
+                continue
+        raise WarehouseError(
+            f"no natural join connects {name!r} to {list(joined)}; "
+            f"pass join({name!r}, on=(left_column, right_column)) explicitly"
+        )
+
+    # ------------------------------------------------------------------- sugar
+
+    def relations(self) -> Tuple[str, ...]:
+        """The base relations referenced, in join order."""
+        return self._relations
+
+    def __repr__(self) -> str:
+        try:
+            return f"Q({self.build().canonical()})"
+        except WarehouseError:
+            return f"Q(relations={list(self._relations)})"
+
+
+def as_expression(query) -> Expression:
+    """Accept either a :class:`Q` builder or a ready logical expression."""
+    if isinstance(query, Q):
+        return query.build()
+    if isinstance(query, Expression):
+        return query
+    raise WarehouseError(
+        f"expected a Q builder or an algebra Expression, got {type(query).__name__}"
+    )

@@ -1,0 +1,158 @@
+"""One validated configuration object for the whole pipeline.
+
+:class:`WarehouseConfig` consolidates the knobs that were previously spread
+across ``ExperimentConfig``, ``ViewMaintenanceOptimizer``, ``ViewRefresher``
+and the ``CardinalityEstimator`` into a single frozen dataclass the
+:class:`~repro.api.Warehouse` hands to every component it owns.  Named
+profiles capture the three configurations that matter in practice:
+
+* ``paper``  — the paper's experimental setting (the defaults): Greedy on,
+  primary-key indexes predeclared, histograms + runtime feedback, physical
+  execution, no oracle verification;
+* ``fast``   — quickest end-to-end runs: index candidate enumeration and
+  runtime feedback (plan re-optimization) off;
+* ``verify`` — every differential checked against the interpreted oracle and
+  every refreshed view compared with recomputation — slow, but any
+  divergence raises immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Optional
+
+from repro.api.errors import WarehouseError, unknown_name
+
+
+@dataclass(frozen=True)
+class WarehouseConfig:
+    """Every knob of the select–maintain–refresh pipeline in one place."""
+
+    #: Buffer pool available to the cost model (pages of ``block_size`` bytes).
+    buffer_pages: int = 8000
+    block_size: int = 4096
+
+    #: Run the greedy selection of extra materializations in ``optimize()``
+    #: (``False`` gives the paper's NoGreedy baseline).
+    greedy: bool = True
+    #: Predeclare primary-key indexes when loading a workload catalog
+    #: (the paper's default; Figure 5(b) turns it off).
+    with_pk_indexes: bool = True
+    #: Let Greedy consider building indexes.
+    include_index_candidates: bool = True
+    #: Let Greedy consider materializing differentials.
+    include_differential_candidates: bool = False
+    #: Use the monotonicity assumption to prune benefit recomputation.
+    use_monotonicity: bool = True
+
+    #: Estimate selectivities from equi-depth histograms when available.
+    histograms: bool = True
+    #: Feed observed operator cardinalities back into the estimator and
+    #: re-optimize cached plans that drifted.
+    feedback: bool = True
+
+    #: Execute full (re)computations through the physical plan layer.
+    use_physical: bool = True
+    #: Run differentials through the vectorized engine (``None`` follows
+    #: ``use_physical``, the historical default).
+    vectorized_differentials: Optional[bool] = None
+    #: Check every vectorized differential against the interpreted oracle.
+    verify_differentials: bool = False
+    #: After ``apply()``, compare every view against full recomputation and
+    #: fail (rolling the batch back) on any mismatch.
+    verify_refresh: bool = False
+
+    #: Default update batch for ``optimize()``/``apply()`` when the caller
+    #: does not pass one: the paper's uniform model at this fraction ...
+    update_percentage: float = 0.05
+    #: ... with this many inserts per delete (2:1 models a growing warehouse).
+    insert_to_delete_ratio: float = 2.0
+    #: Seed for generated update batches (kept fixed so runs reproduce).
+    seed: int = 2024
+
+    #: Cap on the number of greedy selections (``None`` = run to convergence).
+    max_selections: Optional[int] = None
+
+    #: Name of the profile this config was derived from (informational).
+    profile_name: str = "paper"
+
+    def __post_init__(self) -> None:
+        if self.buffer_pages <= 0:
+            raise WarehouseError(f"buffer_pages must be positive, got {self.buffer_pages}")
+        if self.block_size <= 0:
+            raise WarehouseError(f"block_size must be positive, got {self.block_size}")
+        if self.update_percentage < 0:
+            raise WarehouseError(
+                f"update_percentage must be non-negative, got {self.update_percentage}"
+            )
+        if self.insert_to_delete_ratio <= 0:
+            raise WarehouseError(
+                f"insert_to_delete_ratio must be positive, got {self.insert_to_delete_ratio}"
+            )
+        if self.max_selections is not None and self.max_selections < 0:
+            raise WarehouseError(
+                f"max_selections must be non-negative or None, got {self.max_selections}"
+            )
+        if self.verify_differentials and not self._vectorized():
+            raise WarehouseError(
+                "verify_differentials checks the vectorized engine against the "
+                "interpreted oracle; it needs vectorized differentials enabled"
+            )
+
+    def _vectorized(self) -> bool:
+        if self.vectorized_differentials is None:
+            return self.use_physical
+        return self.vectorized_differentials
+
+    # ------------------------------------------------------------------ profiles
+
+    @classmethod
+    def profile(cls, name: str, **overrides) -> "WarehouseConfig":
+        """A named profile, optionally with field overrides on top."""
+        if name not in _PROFILES:
+            raise unknown_name("profile", name, _PROFILES)
+        config = _PROFILES[name]
+        if overrides:
+            bad = set(overrides) - {f.name for f in fields(cls)}
+            if bad:
+                raise unknown_name(
+                    "config field", sorted(bad)[0], [f.name for f in fields(cls)]
+                )
+            config = replace(config, **overrides)
+        return config
+
+    @classmethod
+    def profiles(cls) -> Dict[str, "WarehouseConfig"]:
+        """All named profiles."""
+        return dict(_PROFILES)
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the non-default knobs."""
+        parts = [f"profile={self.profile_name}"]
+        parts.append("greedy" if self.greedy else "no-greedy")
+        if not self.with_pk_indexes:
+            parts.append("no-pk-indexes")
+        if not self.histograms:
+            parts.append("no-histograms")
+        if not self.feedback:
+            parts.append("no-feedback")
+        if self.verify_differentials:
+            parts.append("verify-differentials")
+        if self.verify_refresh:
+            parts.append("verify-refresh")
+        return ", ".join(parts)
+
+
+_PROFILES: Dict[str, WarehouseConfig] = {
+    "paper": WarehouseConfig(profile_name="paper"),
+    "fast": WarehouseConfig(
+        profile_name="fast",
+        include_index_candidates=False,
+        feedback=False,
+    ),
+    "verify": WarehouseConfig(
+        profile_name="verify",
+        verify_differentials=True,
+        verify_refresh=True,
+    ),
+}

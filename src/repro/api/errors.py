@@ -1,0 +1,41 @@
+"""Errors raised by the public :mod:`repro.api` surface.
+
+Everything the façade raises on user mistakes is a :class:`WarehouseError`,
+and name-lookup failures always carry the near-miss candidates — a typo'd
+view or relation name should produce "did you mean ...", never a bare
+``KeyError`` escaping from three layers down.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable, Optional
+
+
+class WarehouseError(Exception):
+    """A user-facing error from the :class:`~repro.api.Warehouse` façade."""
+
+
+def unknown_name(
+    kind: str, name: str, known: Iterable[str], hint: Optional[str] = None
+) -> WarehouseError:
+    """A :class:`WarehouseError` for an unknown name, listing near misses.
+
+    ``kind`` is the noun used in the message ("view", "relation", "profile",
+    ...); ``known`` is the universe of valid names to suggest from.
+    """
+    candidates = sorted(known)
+    matches = difflib.get_close_matches(name, candidates, n=3, cutoff=0.5)
+    message = f"unknown {kind} {name!r}"
+    if matches:
+        message += f" — did you mean {', '.join(repr(m) for m in matches)}?"
+    elif candidates:
+        shown = ", ".join(repr(c) for c in candidates[:8])
+        if len(candidates) > 8:
+            shown += ", ..."
+        message += f" (known {kind}s: {shown})"
+    else:
+        message += f" (no {kind}s defined yet)"
+    if hint:
+        message += f" {hint}"
+    return WarehouseError(message)

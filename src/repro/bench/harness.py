@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.algebra.expressions import Expression
+from repro.api import Warehouse, WarehouseConfig
 from repro.catalog.catalog import Catalog
 from repro.maintenance.optimizer import OptimizationResult, ViewMaintenanceOptimizer
 from repro.maintenance.update_spec import UpdateSpec
@@ -33,19 +34,32 @@ class ExperimentConfig:
     use_monotonicity: bool = True
     insert_to_delete_ratio: float = 2.0
 
+    def warehouse_config(self) -> WarehouseConfig:
+        """This configuration expressed as a :class:`WarehouseConfig`."""
+        return WarehouseConfig(
+            buffer_pages=self.buffer_blocks,
+            block_size=self.block_size,
+            include_differential_candidates=self.include_differential_candidates,
+            include_index_candidates=self.include_index_candidates,
+            use_monotonicity=self.use_monotonicity,
+            insert_to_delete_ratio=self.insert_to_delete_ratio,
+        )
+
+    def warehouse(self) -> Warehouse:
+        """A :class:`Warehouse` session over this configuration's catalog."""
+        return Warehouse(self.warehouse_config()).load(catalog=self.catalog)
+
     def cost_model(self) -> CostModel:
         """The cost model implied by this configuration."""
         return CostModel(CostParameters(), BufferPool(self.buffer_blocks, self.block_size))
 
     def optimizer(self) -> ViewMaintenanceOptimizer:
-        """A view-maintenance optimizer for this configuration."""
-        return ViewMaintenanceOptimizer(
-            self.catalog,
-            cost_model=self.cost_model(),
-            include_differential_candidates=self.include_differential_candidates,
-            include_index_candidates=self.include_index_candidates,
-            use_monotonicity=self.use_monotonicity,
-        )
+        """Deprecated shim: the warehouse session's underlying optimizer.
+
+        Callers should go through :meth:`warehouse` — kept for one release so
+        existing scripts keep working.
+        """
+        return self.warehouse().optimizer
 
 
 @dataclass
@@ -109,12 +123,12 @@ def run_figure_sweep(
 ) -> FigureSeries:
     """Run Greedy and NoGreedy across ``update_percentages`` for one workload."""
     series = FigureSeries(experiment=experiment, description=description)
-    optimizer = config.optimizer()
+    warehouse = config.warehouse().define_views(views)
     for percentage in update_percentages:
         spec = UpdateSpec.uniform(percentage, insert_to_delete_ratio=config.insert_to_delete_ratio)
-        no_greedy = optimizer.no_greedy(views, spec)
+        no_greedy = warehouse.optimize(spec, greedy=False)
         started = time.perf_counter()
-        greedy = optimizer.optimize(views, spec, max_selections=max_selections)
+        greedy = warehouse.optimize(spec, greedy=True, max_selections=max_selections)
         elapsed = time.perf_counter() - started
         series.points.append(
             FigurePoint(

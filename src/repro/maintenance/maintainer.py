@@ -80,6 +80,7 @@ class ViewRefresher:
         use_physical: bool = True,
         vectorized_differentials: Optional[bool] = None,
         verify_differentials: bool = False,
+        physical_executor: Optional[PhysicalExecutor] = None,
     ) -> None:
         self.database = database
         self.views: Dict[str, Expression] = dict(views)
@@ -89,9 +90,21 @@ class ViewRefresher:
         self.recompute_views = set(recompute_views or ())
         #: Full (re)computations of views and temporaries run through the
         #: physical layer (optimizer-chosen plans, vectorized operators);
-        #: the logical interpreter remains the verification oracle.
+        #: the logical interpreter remains the verification oracle.  A caller
+        #: owning a long-lived executor (the :class:`repro.api.Warehouse`
+        #: session, which accumulates cardinality feedback across refresh
+        #: rounds) can inject it instead of this refresher building its own.
+        if physical_executor is not None and not use_physical:
+            raise ValueError(
+                "physical_executor was injected but use_physical is False — "
+                "drop one of the two"
+            )
         self.use_physical = use_physical
-        self._physical = PhysicalExecutor(database) if use_physical else None
+        self._physical = (
+            physical_executor
+            if physical_executor is not None
+            else (PhysicalExecutor(database) if use_physical else None)
+        )
         #: Differentials run through the vectorized engine (delta kernels +
         #: per-round old-value cache shared across views) by default whenever
         #: the physical layer is on; the interpreted ``differentiate`` stays
@@ -131,6 +144,17 @@ class ViewRefresher:
         """Materialize every view from the current database contents."""
         for name, expression in self.views.items():
             self.database.materialize_view(name, self._compute(expression))
+
+    def ensure_views(self) -> None:
+        """Materialize only the views that are not stored yet.
+
+        Unlike :meth:`initialize_views` this is safe to call before every
+        refresh round: already-materialized views (kept current by earlier
+        rounds) are left untouched.
+        """
+        for name, expression in self.views.items():
+            if not self.database.has_view(name):
+                self.database.materialize_view(name, self._compute(expression))
 
     # ------------------------------------------------------------------ refresh
 
