@@ -1,0 +1,42 @@
+"""Build the API reference into ``docs/api/`` with pdoc.
+
+Usage: ``python docs/build.py`` (the CI docs job runs exactly this).
+
+The generated tree is git-ignored — the committed documentation is the
+hand-written [docs/index.md](index.md) plus the docstrings themselves; this
+script exists so the docstring surface is continuously checked against the
+generator and so a local ``docs/api/index.html`` is one command away.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUTPUT_DIR = os.path.join(REPO_ROOT, "docs", "api")
+
+#: Modules whose documented surface the build covers: the package root
+#: (re-exporting the public API) and the façade/stream packages behind it.
+DOCUMENTED_MODULES = ("repro", "repro.api", "repro.stream")
+
+
+def main() -> int:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    try:
+        import pdoc  # noqa: F401
+        import pdoc.__main__
+    except ImportError:
+        print(
+            "pdoc is not installed — `pip install pdoc` to build the API "
+            "reference (the hand-written docs/index.md does not need it)."
+        )
+        return 1
+    sys.argv = ["pdoc", *DOCUMENTED_MODULES, "-o", OUTPUT_DIR]
+    pdoc.__main__.cli()
+    print(f"API reference written to {OUTPUT_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@ A from-scratch Python reproduction of Mistry, Roy, Ramamritham and Sudarshan,
 * ``repro.mqo``       — multi-query optimization (RSSB00 greedy heuristic)
 * ``repro.maintenance`` — the paper's contribution: optimal view-maintenance
   plans and greedy selection of extra temporary/permanent materializations
+* ``repro.stream``    — streaming ingestion: delta coalescing and
+  cost-based deferred refresh scheduling
 * ``repro.workloads`` — TPC-D-style schema, data, update and view generators
 * ``repro.bench``     — experiment drivers reproducing the paper's figures
 * ``repro.api``       — the public façade: one :class:`Warehouse` session
@@ -35,6 +37,10 @@ from repro.api import (
     Q,
     OptimizationResult,
     RefreshReport,
+    StreamClosedError,
+    StreamPolicy,
+    StreamSession,
+    TickDecision,
     UpdateSpec,
     Warehouse,
     WarehouseConfig,
@@ -43,7 +49,7 @@ from repro.api import (
     as_expression,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # The public façade.
@@ -56,6 +62,11 @@ __all__ = [
     "UpdateSpec",
     "RefreshReport",
     "OptimizationResult",
+    # Streaming ingest (Warehouse.stream()).
+    "StreamSession",
+    "StreamPolicy",
+    "TickDecision",
+    "StreamClosedError",
     # The substrate packages (importable for tests and advanced use).
     "api",
     "catalog",
@@ -67,4 +78,5 @@ __all__ = [
     "maintenance",
     "workloads",
     "bench",
+    "stream",
 ]

@@ -7,6 +7,9 @@ This package is the supported way to drive the reproduction:
 * :class:`WarehouseConfig` — every knob in one validated dataclass, with
   named profiles (``paper``, ``fast``, ``verify``);
 * :class:`Q` — the fluent view builder compiling to the logical algebra;
+* :class:`StreamSession` / :class:`StreamPolicy` — streaming ingest with
+  delta coalescing and cost-based deferred refresh
+  (``Warehouse.stream()``);
 * :class:`WarehouseError` — everything the façade raises on user mistakes,
   always naming near-miss candidates for unknown names.
 
@@ -17,7 +20,8 @@ construct the pipeline exclusively through this package.
 
 from repro.api.builder import Q, as_expression
 from repro.api.config import WarehouseConfig
-from repro.api.errors import WarehouseError
+from repro.api.errors import StreamClosedError, WarehouseError
+from repro.api.stream import StreamSession
 from repro.api.warehouse import (
     UpdateBatch,
     Warehouse,
@@ -26,12 +30,17 @@ from repro.api.warehouse import (
 from repro.maintenance.maintainer import RefreshReport
 from repro.maintenance.optimizer import OptimizationResult
 from repro.maintenance.update_spec import UpdateSpec
+from repro.stream import StreamPolicy, TickDecision
 
 __all__ = [
     "Q",
     "as_expression",
     "OptimizationResult",
     "RefreshReport",
+    "StreamClosedError",
+    "StreamPolicy",
+    "StreamSession",
+    "TickDecision",
     "UpdateBatch",
     "UpdateSpec",
     "Warehouse",

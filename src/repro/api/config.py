@@ -73,6 +73,22 @@ class WarehouseConfig:
     #: Cap on the number of greedy selections (``None`` = run to convergence).
     max_selections: Optional[int] = None
 
+    #: Default refresh timing for ``Warehouse.stream()`` sessions:
+    #: ``"coalesce"`` defers and coalesces update rounds until the cost model
+    #: or a staleness bound triggers a flush; ``"eager"`` refreshes on every
+    #: ingest (the paper's implicit behavior).
+    stream_policy: str = "coalesce"
+    #: Staleness bound: flush once this many pending (coalesced) delta rows
+    #: have accumulated (``None`` = unbounded).
+    stream_max_rows: Optional[int] = None
+    #: Staleness bound: flush once this many update rounds were deferred
+    #: (``None`` = unbounded; the default keeps sessions from deferring
+    #: forever even when deferral keeps paying).
+    stream_max_batches: Optional[int] = 32
+    #: Consult the delta-size-aware cost model on every stream tick (with
+    #: ``False`` only the staleness bounds trigger flushes).
+    stream_cost_based: bool = True
+
     #: Name of the profile this config was derived from (informational).
     profile_name: str = "paper"
 
@@ -98,6 +114,39 @@ class WarehouseConfig:
                 "verify_differentials checks the vectorized engine against the "
                 "interpreted oracle; it needs vectorized differentials enabled"
             )
+        if self.stream_policy not in ("eager", "coalesce"):
+            raise unknown_name("stream policy", self.stream_policy, ("eager", "coalesce"))
+        if self.stream_max_rows is not None and self.stream_max_rows < 1:
+            raise WarehouseError(
+                f"stream_max_rows must be positive or None, got {self.stream_max_rows}"
+            )
+        if self.stream_max_batches is not None and self.stream_max_batches < 1:
+            raise WarehouseError(
+                f"stream_max_batches must be positive or None, got {self.stream_max_batches}"
+            )
+        if (
+            self.stream_policy == "coalesce"
+            and not self.stream_cost_based
+            and self.stream_max_rows is None
+            and self.stream_max_batches is None
+        ):
+            raise WarehouseError(
+                "a coalescing stream policy with stream_cost_based=False "
+                "needs stream_max_rows or stream_max_batches — nothing "
+                "would ever trigger a refresh"
+            )
+
+    def make_stream_policy(self) -> "StreamPolicy":
+        """The :class:`~repro.stream.StreamPolicy` these knobs describe."""
+        from repro.stream import StreamPolicy
+
+        if self.stream_policy == "eager":
+            return StreamPolicy.always()
+        return StreamPolicy.coalescing(
+            max_rows=self.stream_max_rows,
+            max_batches=self.stream_max_batches,
+            cost_based=self.stream_cost_based,
+        )
 
     def _vectorized(self) -> bool:
         if self.vectorized_differentials is None:

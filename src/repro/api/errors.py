@@ -16,6 +16,15 @@ class WarehouseError(Exception):
     """A user-facing error from the :class:`~repro.api.Warehouse` façade."""
 
 
+class StreamClosedError(WarehouseError):
+    """Raised when ingesting into (or flushing) a closed stream session.
+
+    A :class:`~repro.api.stream.StreamSession` flushes its pending deltas on
+    ``close()`` (and on clean ``with``-block exit); afterwards the session
+    object is inert — open a fresh one with ``Warehouse.stream()``.
+    """
+
+
 def unknown_name(
     kind: str, name: str, known: Iterable[str], hint: Optional[str] = None
 ) -> WarehouseError:

@@ -1,0 +1,259 @@
+"""The streaming ingest session: ``Warehouse.stream()``.
+
+A :class:`StreamSession` is the front door to :mod:`repro.stream`: update
+batches are ingested instead of applied, buffered (and coalesced) in a
+:class:`~repro.stream.PendingDeltas`, and flushed into one multi-round
+refresh when the :class:`~repro.stream.StreamScheduler` decides deferral has
+stopped paying — or when a staleness bound or an explicit :meth:`flush`
+forces it::
+
+    with wh.stream() as session:
+        for batch in update_source:
+            session.ingest(batch)          # refreshes only when it pays
+    print(session.explain_schedule())      # the full decision trace
+
+Unlike ``Warehouse.apply()``, stream flushes are **not transactional**: an
+ingested delta is accepted state, so a flush failure surfaces without
+rolling the database back (``verify_refresh`` still raises on divergence).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Union
+
+from repro.api.errors import StreamClosedError, WarehouseError, unknown_name
+from repro.maintenance.update_spec import UpdateSpec
+from repro.storage.delta import DeltaStore
+from repro.storage.relation import Row
+from repro.stream import StreamPolicy, StreamScheduler, TickDecision
+from repro.workloads import updategen
+
+#: What ``ingest()`` accepts — the same shapes as ``Warehouse.apply()``.
+IngestBatch = Union[DeltaStore, UpdateSpec, float]
+
+
+class StreamSession:
+    """One streaming ingest session over a :class:`~repro.api.Warehouse`.
+
+    Create it with :meth:`Warehouse.stream`; use it as a context manager so
+    pending deltas are flushed on exit.
+    """
+
+    def __init__(self, warehouse, policy: StreamPolicy) -> None:
+        self._warehouse = warehouse
+        self.policy = policy
+        self._scheduler = StreamScheduler(policy, round_cost=warehouse._stream_round_cost())
+        self._closed = False
+        #: Refresh reports of every flush, in order.
+        self.reports: List = []
+        #: Flushes skipped because the pending deltas annihilated to nothing.
+        self.skipped_flushes = 0
+        #: Tuples annihilated by coalescing across the session's lifetime.
+        self.annihilated_rows = 0
+        #: Rounds a *failed* flush was about to refresh, kept for inspection.
+        #: A flush failure poisons the session (see :meth:`flush`).
+        self.failed_rounds: List[DeltaStore] = []
+        #: Pending-state tracking for deferred generation: rows already
+        #: marked for deletion (never delete a tuple twice; reset per flush).
+        #: Key sequences are tracked warehouse-wide (``_issued_keys`` on the
+        #: :class:`Warehouse`), so apply() batches and stream ingests share
+        #: one monotonic key space.
+        self._pending_deletes: Dict[str, List[Row]] = {}
+        self._ticks = 0
+
+    # ---------------------------------------------------------------- ingest
+
+    def ingest(
+        self, batch: Optional[IngestBatch] = None, *, seed: Optional[int] = None
+    ) -> TickDecision:
+        """Absorb one update batch; refresh only if the policy says so.
+
+        ``batch`` takes the same shapes as ``Warehouse.apply()``: a concrete
+        :class:`DeltaStore`, an :class:`UpdateSpec`, a plain update fraction,
+        or nothing (the config's default percentage).  Returns the
+        scheduler's :class:`~repro.stream.TickDecision`; when it says
+        ``refresh`` the flush has already happened (see :attr:`reports`).
+        """
+        self._require_open()
+        self._ticks += 1
+        deltas = self._resolve(batch, seed)
+        decision = self._scheduler.ingest(deltas)
+        self._track_pending(deltas)
+        if decision.refreshes:
+            self._flush_pending()
+        return decision
+
+    def _resolve(self, batch: Optional[IngestBatch], seed: Optional[int]) -> DeltaStore:
+        wh = self._warehouse
+        database = wh._require_database()
+        if isinstance(batch, DeltaStore):
+            # Validate relation names and bag arities now, while rejecting
+            # is free: a flush failure after buffering poisons the session
+            # (the refresh is non-transactional), so a malformed round must
+            # not get that far.  Every recorded delta is checked — even
+            # fully empty ones, since the pending buffer adopts the first
+            # round's bags as its schema templates.
+            for delta in batch:
+                if not database.has_relation(delta.relation):
+                    raise unknown_name(
+                        "relation",
+                        delta.relation,
+                        database.table_names(),
+                        hint="(in ingested batch)",
+                    )
+                arity = len(database.table(delta.relation).schema)
+                for bag in (delta.inserts, delta.deletes):
+                    if len(bag.schema) != arity:
+                        raise WarehouseError(
+                            f"delta bag for {delta.relation!r} has arity "
+                            f"{len(bag.schema)}, the table expects {arity} "
+                            f"(in ingested batch)"
+                        )
+            # Caller-supplied inserts consume key space too — advance the
+            # warehouse high-water mark so a later *generated* batch cannot
+            # restart its key sequences underneath these pending rows.
+            wh._advance_issued_keys(batch)
+            return batch
+        spec = wh._batch_spec(batch, "ingest()")
+        relations = wh.view_relations
+        # Vary the seed per tick (identical consecutive rounds would delete
+        # the same sampled tuples twice), exclude already-pending deletes,
+        # and continue key sequences past the warehouse high-water mark.
+        tick_seed = (wh.config.seed + self._ticks) if seed is None else seed
+        deltas = updategen.generate_deltas(
+            database,
+            spec.restricted_to(relations),
+            relations,
+            seed=tick_seed,
+            exclude_deletes=self._pending_deletes,
+            key_offsets=wh._key_offsets(relations),
+        )
+        wh._advance_issued_keys(deltas)
+        return deltas
+
+    def _track_pending(self, deltas: DeltaStore) -> None:
+        for delta in deltas:
+            if len(delta.deletes):
+                self._pending_deletes.setdefault(delta.relation, []).extend(
+                    delta.deletes.rows
+                )
+
+    # ----------------------------------------------------------------- flush
+
+    def flush(self):
+        """Force a refresh of everything pending.
+
+        Returns the :class:`~repro.api.WarehouseRefreshReport`, or ``None``
+        when there was nothing to refresh (nothing ingested, or every
+        pending tuple annihilated during coalescing).
+
+        A flush failure **poisons the session**: the refresh is
+        non-transactional, so the database may hold a partially applied
+        flush, and replaying the same rounds would double-apply them.  The
+        session closes itself, the un-refreshed rounds stay readable in
+        :attr:`failed_rounds`, and further ``ingest()``/``flush()`` raise
+        :class:`~repro.api.errors.StreamClosedError`.
+        """
+        self._require_open()
+        return self._flush_pending()
+
+    def _flush_pending(self):
+        had_batches = self._scheduler.pending.batches > 0
+        annihilated = self._scheduler.pending.annihilated_rows
+        rounds = self._scheduler.take()
+        # Flushed deletes are applied, so the exclusion pool resets; the
+        # issued-keys high-water mark deliberately survives (see __init__).
+        self._pending_deletes = {}
+        if not rounds:
+            if had_batches:
+                # Batches were pending but coalesced to nothing — the
+                # "insert-then-delete annihilates" fast path: no refresh.
+                self.annihilated_rows += annihilated
+                self.skipped_flushes += 1
+            return None
+        # The coalescing work happened whether or not the refresh succeeds.
+        self.annihilated_rows += annihilated
+        try:
+            report = self._warehouse._refresh_rounds(rounds, transactional=False)
+        except Exception:
+            # Non-transactional: the database may hold a partially applied
+            # flush, so retrying these rounds would double-apply them.
+            # Poison the session; keep the rounds readable for diagnosis.
+            self.failed_rounds = rounds
+            self._closed = True
+            raise
+        self.reports.append(report)
+        return report
+
+    def close(self):
+        """Flush pending deltas and retire the session."""
+        if self._closed:
+            return None
+        report = self._flush_pending()
+        self._closed = True
+        return report
+
+    def __enter__(self) -> "StreamSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Flush only on clean exit: after an error the pending deltas may
+        # describe state the caller no longer wants applied.
+        if exc_type is None:
+            self.close()
+        else:
+            self._closed = True
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def closed(self) -> bool:
+        """Whether the session was closed (closed sessions reject ingests)."""
+        return self._closed
+
+    @property
+    def pending_rows(self) -> int:
+        """Tuples a flush would currently propagate (after coalescing)."""
+        return self._scheduler.pending.pending_rows()
+
+    @property
+    def pending_batches(self) -> int:
+        """Update rounds deferred since the last flush."""
+        return self._scheduler.pending.batches
+
+    @property
+    def decisions(self) -> List[TickDecision]:
+        """Every scheduler decision so far (the explain trace)."""
+        return list(self._scheduler.decisions)
+
+    def explain_schedule(self) -> str:
+        """Human-readable decision trace, like ``Warehouse.explain()``.
+
+        One line per tick (arrived/pending/annihilated rows, estimated
+        eager-vs-deferred cost, the verdict and its reason), followed by a
+        summary of what the flushes actually did.
+        """
+        lines = [self._scheduler.render_trace()]
+        total_changes = sum(report.total_changes() for report in self.reports)
+        recomputes = sum(len(report.recomputed_views) for report in self.reports)
+        flushed_rounds = sum(getattr(report, "rounds", 1) for report in self.reports)
+        summary = (
+            f"flushes: {len(self.reports)} ({flushed_rounds} "
+            f"{'round' if flushed_rounds == 1 else 'rounds'} refreshed, "
+            f"{total_changes} view tuples changed incrementally, "
+            f"{recomputes} view recomputations"
+        )
+        if self.skipped_flushes:
+            summary += f", {self.skipped_flushes} flushes skipped — fully annihilated"
+        lines.append(summary + ")")
+        return "\n".join(lines)
+
+    # ----------------------------------------------------------------- guard
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StreamClosedError(
+                "this stream session is closed — open a new one with "
+                "Warehouse.stream()"
+            )

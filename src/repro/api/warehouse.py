@@ -24,7 +24,8 @@ consistent everywhere.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from collections import Counter
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.algebra.expressions import Expression, base_relations
@@ -42,7 +43,7 @@ from repro.mqo.greedy import MqoResult, MultiQueryOptimizer
 from repro.optimizer.cost_model import CostModel, CostParameters
 from repro.optimizer.volcano import VolcanoSearch
 from repro.storage.buffer import BufferPool
-from repro.storage.delta import DeltaStore
+from repro.storage.delta import DeltaStore, merge_delta_sizes
 from repro.workloads import datagen, updategen
 
 
@@ -57,6 +58,10 @@ class WarehouseRefreshReport(RefreshReport):
     verification: Dict[str, bool] = field(default_factory=dict)
     #: Wall-clock seconds the update+refresh step took.
     elapsed_seconds: float = 0.0
+    #: Update rounds refreshed in this step (stream flushes may carry many).
+    rounds: int = 1
+    #: Base-table tuples applied across all rounds (insert + delete bags).
+    base_rows_applied: int = 0
 
     @property
     def verified(self) -> bool:
@@ -84,6 +89,11 @@ class Warehouse:
         self._database: Optional[Database] = None
         self._runtime: Optional[PhysicalExecutor] = None
         self._result: Optional[OptimizationResult] = None
+        #: High-water mark of TPC-D keys ever issued per relation, shared by
+        #: ``apply()`` and every stream session: deletes shrink the tables,
+        #: so generated batches must not restart key sequences at
+        #: ``len(table)`` and re-issue keys of rows that still exist.
+        self._issued_keys: Dict[str, int] = {}
 
     # -------------------------------------------------------------------- load
 
@@ -303,24 +313,43 @@ class Warehouse:
         the database is rolled back to its pre-batch state before the error
         propagates.
         """
+        deltas, spec = self._resolve_batch(batch, seed)
+        return self._refresh_rounds([deltas], transactional=True, spec=spec)
+
+    def _refresh_rounds(
+        self,
+        rounds: Sequence[DeltaStore],
+        *,
+        transactional: bool,
+        spec: Optional[UpdateSpec] = None,
+    ) -> WarehouseRefreshReport:
+        """Refresh a sequence of concrete update rounds in one session.
+
+        This is the shared core of :meth:`apply` (always one round,
+        transactional) and the stream session's flush (possibly many rounds
+        through :meth:`ViewRefresher.refresh_many`, non-transactional —
+        ingested deltas are accepted state, so a failure surfaces without
+        rolling back).
+        """
         database = self._require_database()
         if not self._views:
             raise WarehouseError("no views defined — call define_view() first")
         started = time.perf_counter()
-        deltas, spec = self._resolve_batch(batch, seed)
-        relations = [
-            r for r in deltas.relation_order if deltas.has_updates(r)
-        ]
+        relations: List[str] = []
+        for deltas in rounds:
+            for r in deltas.relation_order:
+                if deltas.has_updates(r) and r not in relations:
+                    relations.append(r)
         for relation in relations:
             if not database.has_relation(relation):
                 raise unknown_name(
                     "relation", relation, database.table_names(), hint="(in update batch)"
                 )
         if self._result is None:
-            self.optimize(spec)
+            self.optimize(spec if spec is not None else self._spec_of(rounds))
         recompute, temporaries = self._maintenance_choices()
 
-        snapshot = database.copy()
+        snapshot = database.copy() if transactional else None
         refresher = ViewRefresher(
             database,
             self._views,
@@ -333,28 +362,30 @@ class Warehouse:
         )
         try:
             refresher.ensure_views()
-            report = refresher.refresh(deltas)
+            report = refresher.refresh_many(rounds)
             verification: Dict[str, bool] = {}
             if self.config.verify_refresh:
                 verification = refresher.verify_against_recomputation()
                 if not all(verification.values()):
                     failed = sorted(n for n, ok in verification.items() if not ok)
                     raise WarehouseError(
-                        f"refresh verification failed for {failed}; "
-                        f"the batch was rolled back"
+                        f"refresh verification failed for {failed}"
+                        + ("; the batch was rolled back" if transactional else "")
                     )
         except Exception:
-            # Transactional semantics: restore the pre-batch state (tables,
-            # views, indexes, statistics) before letting the error surface.
-            # When the planning catalog *is* the database's catalog (the
-            # load_data-without-load path), rebind planning to the restored
-            # copy too — otherwise optimize()/explain() would keep pricing
-            # against statistics that include the rolled-back batch.
-            planning_was_runtime = self._catalog is database.catalog
-            self._database = snapshot
-            self._attach_runtime()
-            if planning_was_runtime:
-                self.load(catalog=snapshot.catalog)
+            if snapshot is not None:
+                # Transactional semantics: restore the pre-batch state
+                # (tables, views, indexes, statistics) before letting the
+                # error surface.  When the planning catalog *is* the
+                # database's catalog (the load_data-without-load path),
+                # rebind planning to the restored copy too — otherwise
+                # optimize()/explain() would keep pricing against statistics
+                # that include the rolled-back batch.
+                planning_was_runtime = self._catalog is database.catalog
+                self._database = snapshot
+                self._attach_runtime()
+                if planning_was_runtime:
+                    self.load(catalog=snapshot.catalog)
             raise
         return WarehouseRefreshReport(
             steps=report.steps,
@@ -362,6 +393,59 @@ class Warehouse:
             updated_relations=relations,
             verification=verification,
             elapsed_seconds=time.perf_counter() - started,
+            rounds=len(rounds),
+            base_rows_applied=sum(deltas.total_rows() for deltas in rounds),
+        )
+
+    @property
+    def view_relations(self) -> List[str]:
+        """Loaded base relations the registered views depend on (sorted)."""
+        database = self._require_database()
+        return sorted(
+            {r for expr in self._views.values() for r in base_relations(expr)}
+            & set(database.table_names())
+        )
+
+    def _key_offsets(self, relations: Sequence[str]) -> Dict[str, int]:
+        """How far each relation's key sequence must skip past ``len(table)``."""
+        database = self._require_database()
+        return {
+            name: max(0, self._issued_keys.get(name, 0) - len(database.table(name)))
+            for name in relations
+        }
+
+    def _advance_issued_keys(self, deltas: DeltaStore) -> None:
+        """Raise the issued-keys high-water mark past a batch's inserts.
+
+        Applied to caller-supplied stores too: their inserts consume key
+        space (the generators continue sequences at the table length), so a
+        later generated batch must start above them.
+        """
+        database = self._require_database()
+        for delta in deltas:
+            if len(delta.inserts) and database.has_relation(delta.relation):
+                base = max(
+                    self._issued_keys.get(delta.relation, 0),
+                    len(database.table(delta.relation)),
+                )
+                self._issued_keys[delta.relation] = base + len(delta.inserts)
+
+    def _batch_spec(self, batch: Optional[UpdateBatch], entry_point: str) -> UpdateSpec:
+        """The :class:`UpdateSpec` an abstract batch argument describes.
+
+        Shared dispatch for ``apply()`` and ``stream().ingest()`` — both
+        document the same accepted shapes; ``entry_point`` names the caller
+        in the error message.
+        """
+        if batch is None:
+            return self.update_spec()
+        if isinstance(batch, UpdateSpec):
+            return batch
+        if isinstance(batch, (int, float)) and not isinstance(batch, bool):
+            return self.update_spec(float(batch))
+        raise WarehouseError(
+            f"{entry_point} takes a DeltaStore, an UpdateSpec or an update "
+            f"fraction, got {type(batch).__name__}"
         )
 
     def _resolve_batch(
@@ -369,51 +453,41 @@ class Warehouse:
     ) -> Tuple[DeltaStore, UpdateSpec]:
         """Concrete deltas plus the spec describing them."""
         database = self._require_database()
-        relations = sorted(
-            {r for expr in self._views.values() for r in base_relations(expr)}
-            & set(database.table_names())
-        )
+        relations = self.view_relations
         if isinstance(batch, DeltaStore):
-            return batch, self._spec_of(batch)
-        if batch is None:
-            spec = self.update_spec()
-        elif isinstance(batch, UpdateSpec):
-            spec = batch
-        elif isinstance(batch, (int, float)) and not isinstance(batch, bool):
-            spec = self.update_spec(float(batch))
-        else:
-            raise WarehouseError(
-                f"apply() takes a DeltaStore, an UpdateSpec or an update "
-                f"fraction, got {type(batch).__name__}"
-            )
+            self._advance_issued_keys(batch)
+            return batch, self._spec_of([batch])
+        spec = self._batch_spec(batch, "apply()")
         deltas = updategen.generate_deltas(
             database,
             spec.restricted_to(relations),
             relations,
             seed=self.config.seed if seed is None else seed,
+            key_offsets=self._key_offsets(relations),
         )
+        self._advance_issued_keys(deltas)
         return deltas, spec
 
-    def _spec_of(self, deltas: DeltaStore) -> UpdateSpec:
-        """The update spec a concrete delta batch actually realizes.
+    def _spec_of(self, rounds: Sequence[DeltaStore]) -> UpdateSpec:
+        """The update spec a sequence of concrete delta rounds realizes.
 
-        Used when a lazy ``optimize()`` has to run for a caller-supplied
-        :class:`DeltaStore`: maintenance decisions are priced for the
-        batch's real per-relation insert/delete fractions, not the config's
-        default percentage.
+        Used when a lazy ``optimize()`` has to run for caller-supplied
+        :class:`DeltaStore` rounds: maintenance decisions are priced for the
+        batch's real per-relation insert/delete fractions (summed across the
+        rounds), not the config's default percentage.
         """
         database = self._require_database()
+        sizes = merge_delta_sizes(*[deltas.delta_sizes() for deltas in rounds])
         updates: Dict[str, RelationUpdate] = {}
-        for relation in deltas.relation_order:
-            delta = deltas.delta(relation)
-            if delta is None or not database.has_relation(relation):
+        for relation, (inserts, deletes) in sizes.items():
+            if not database.has_relation(relation):
                 continue
             current = max(1, len(database.table(relation)))
             updates[relation] = RelationUpdate(
-                insert_fraction=len(delta.inserts) / current,
-                delete_fraction=len(delta.deletes) / current,
+                insert_fraction=inserts / current,
+                delete_fraction=deletes / current,
             )
-        return UpdateSpec(updates, relation_order=deltas.relation_order)
+        return UpdateSpec(updates, relation_order=list(sizes))
 
     def _maintenance_choices(self) -> Tuple[List[str], Dict[str, Expression]]:
         """Recompute decisions and temporary shared results from the last run."""
@@ -442,6 +516,78 @@ class Warehouse:
                     continue
                 temporaries[f"__wh_tmp_e{candidate.node_id}"] = expression
         return recompute, temporaries
+
+    # ------------------------------------------------------------------ stream
+
+    def stream(self, policy: Optional[Union[str, "StreamPolicy"]] = None) -> "StreamSession":
+        """Open a streaming ingest session (see :mod:`repro.stream`).
+
+        ``policy`` may be a ready :class:`~repro.stream.StreamPolicy`, a
+        policy name (``"eager"`` / ``"coalesce"``), or omitted to use the
+        config's stream knobs.  The session buffers ingested update rounds,
+        coalesces them (insert/delete annihilation), and refreshes only when
+        the cost model or a staleness bound says deferral stopped paying::
+
+            with wh.stream() as session:
+                session.ingest(0.02)
+                session.ingest(0.02)
+            print(session.explain_schedule())
+        """
+        from repro.api.stream import StreamSession
+        from repro.stream import StreamPolicy
+
+        self._require_database()
+        if not self._views:
+            raise WarehouseError("no views defined — call define_view() first")
+        if policy is None:
+            policy = self.config.make_stream_policy()
+        elif isinstance(policy, str):
+            # Route through the config so the name-to-policy mapping (and
+            # its validation) lives in exactly one place.
+            policy = replace(self.config, stream_policy=policy).make_stream_policy()
+        elif not isinstance(policy, StreamPolicy):
+            raise WarehouseError(
+                f"stream() takes a StreamPolicy or a policy name, got "
+                f"{type(policy).__name__}"
+            )
+        try:
+            return StreamSession(self, policy)
+        except ValueError as exc:
+            # e.g. a caller-built policy that could never trigger a refresh —
+            # surface it as the façade's error family.
+            raise WarehouseError(str(exc)) from exc
+
+    def _stream_round_cost(self):
+        """The per-round cost model stream schedulers consult.
+
+        Delta-size-aware costing over the *runtime* catalog (the statistics
+        of the actual loaded data — the index-rebuild threshold compares
+        delta sizes against real cardinalities), including the large-delta
+        penalty of ``Database.apply_update``'s rebuild fallback.
+        """
+        from repro.engine.database import INCREMENTAL_INDEX_FRACTION
+
+        self._require_database()
+        if self._runtime is None and self._estimator is None:
+            return None
+
+        def round_cost(delta_sizes: Mapping[str, Tuple[int, int]]) -> float:
+            # Resolved per tick, not captured at session open: a rollback or
+            # load_data() swaps the runtime (and its estimator/catalog), and
+            # open sessions must price against the live statistics.
+            database = self._require_database()
+            estimator = (
+                self._runtime.estimator if self._runtime is not None else self._estimator
+            )
+            indexed = Counter(index.table for index in database.catalog.all_indexes())
+            return estimator.refresh_round_cost(
+                self._views,
+                delta_sizes,
+                index_rebuild_fraction=INCREMENTAL_INDEX_FRACTION,
+                indexed_relations=indexed,
+            )
+
+        return round_cost
 
     # ----------------------------------------------------------------- explain
 

@@ -569,6 +569,169 @@ def run_refresh_comparison(
     return result
 
 
+# ------------------------------------------------- stream scheduling policies
+
+@dataclass
+class StreamPolicyOutcome:
+    """What one refresh policy did with the same update stream."""
+
+    policy: str
+    flushes: int
+    rounds_refreshed: int
+    skipped_flushes: int
+    #: Base-table tuples entering the refresher (after coalescing, if any).
+    base_rows_applied: int
+    #: View tuples changed incrementally across all flushes.
+    view_rows_changed: int
+    #: Views rebuilt by recomputation across all flushes.
+    view_recomputations: int
+    #: Tuples annihilated by insert/delete coalescing.
+    annihilated_rows: int
+    #: Wall-clock seconds spent ingesting + refreshing.
+    refresh_seconds: float
+    #: Whether every view matched recomputation after the final flush.
+    verified: bool
+
+    @property
+    def rows_propagated(self) -> int:
+        """Total refresh traffic: base rows applied + view rows changed."""
+        return self.base_rows_applied + self.view_rows_changed
+
+
+@dataclass
+class StreamComparisonResult:
+    """Eager per-round refresh vs coalesced deferred refresh on one stream."""
+
+    experiment: str
+    scale_factor: float
+    update_percentage: float
+    rounds: int
+    overlap: float
+    views: int
+    outcomes: Dict[str, StreamPolicyOutcome] = field(default_factory=dict)
+    #: Whether the final view bags are identical across the two policies.
+    views_identical: bool = False
+
+    @property
+    def speedup(self) -> float:
+        """Eager refresh wall-clock over coalesced/deferred wall-clock."""
+        coalesced = self.outcomes["coalesce"].refresh_seconds
+        if coalesced <= 0:
+            return float("inf")
+        return self.outcomes["eager"].refresh_seconds / coalesced
+
+    @property
+    def rows_saved(self) -> int:
+        """Refresh traffic avoided by coalescing + deferral."""
+        return (
+            self.outcomes["eager"].rows_propagated
+            - self.outcomes["coalesce"].rows_propagated
+        )
+
+    @property
+    def all_verified(self) -> bool:
+        """Whether both policies' views matched recomputation at the end."""
+        return all(o.verified for o in self.outcomes.values())
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Rows suitable for tabular rendering (deterministic fields only)."""
+        return [
+            {
+                "policy": o.policy,
+                "flushes": o.flushes,
+                "rounds_refreshed": o.rounds_refreshed,
+                "base_rows": o.base_rows_applied,
+                "view_rows": o.view_rows_changed,
+                "recomputes": o.view_recomputations,
+                "annihilated": o.annihilated_rows,
+                "verified": o.verified,
+            }
+            for o in self.outcomes.values()
+        ]
+
+
+def run_stream_comparison(
+    scale_factor: float = 0.002,
+    update_percentage: float = 0.03,
+    rounds: int = 6,
+    overlap: float = 0.6,
+) -> StreamComparisonResult:
+    """Ingest the same update stream under the eager and coalescing policies.
+
+    The stream is the fig3 workload (the stand-alone join view and its
+    aggregate sibling) fed ``rounds`` update rounds in which ``overlap`` of
+    each round's deletes target the previous round's inserts — warehouse
+    churn where coalescing annihilation pays.  Both policies go through
+    ``Warehouse.stream()``: *eager* refreshes after every ingest (the
+    pre-stream behavior), *coalesce* defers until the scheduler or the final
+    ``close()`` flushes.  Final view contents are verified bag-identical
+    between the policies (and against recomputation) before any timing
+    counts.
+    """
+    from repro.api import Warehouse, WarehouseConfig
+    from repro.workloads.updategen import generate_update_stream
+
+    views = {**queries.standalone_join_view(), **queries.standalone_agg_view()}
+    base = small_database(scale_factor=scale_factor)
+    involved = sorted({r for e in views.values() for r in base_relations(e)})
+    stream_rounds = generate_update_stream(
+        base,
+        update_percentage,
+        rounds,
+        relations=involved,
+        overlap=overlap,
+        seed=4242,
+    )
+
+    result = StreamComparisonResult(
+        experiment="stream",
+        scale_factor=scale_factor,
+        update_percentage=update_percentage,
+        rounds=rounds,
+        overlap=overlap,
+        views=len(views),
+    )
+    finals: Dict[str, Database] = {}
+    for policy in ("eager", "coalesce"):
+        database = base.copy()
+        wh = Warehouse(WarehouseConfig.profile("fast", stream_policy=policy))
+        # The paper's pattern: plan against full-scale statistics (where
+        # incremental maintenance wins), execute at a small scale factor.
+        wh.load(scale=PAPER_SCALE_FACTOR)
+        wh.load_data(database=database)
+        wh.define_views(views)
+        wh.optimize()
+        # Materialize the views before timing so both policies start warm.
+        wh.apply(0.0)
+
+        started = time.perf_counter()
+        with wh.stream(policy) as session:
+            for deltas in stream_rounds:
+                session.ingest(deltas)
+        elapsed = time.perf_counter() - started
+
+        verified = all(wh.verify().values())
+        finals[policy] = database
+        result.outcomes[policy] = StreamPolicyOutcome(
+            policy=policy,
+            flushes=len(session.reports),
+            rounds_refreshed=sum(r.rounds for r in session.reports),
+            skipped_flushes=session.skipped_flushes,
+            base_rows_applied=sum(r.base_rows_applied for r in session.reports),
+            view_rows_changed=sum(r.total_changes() for r in session.reports),
+            view_recomputations=sum(len(r.recomputed_views) for r in session.reports),
+            annihilated_rows=session.annihilated_rows,
+            refresh_seconds=elapsed,
+            verified=verified,
+        )
+
+    result.views_identical = all(
+        finals["eager"].view(name).same_bag(finals["coalesce"].view(name))
+        for name in views
+    )
+    return result
+
+
 # --------------------------------------------------------------- §3.3 examples
 
 @dataclass

@@ -331,6 +331,77 @@ class CardinalityEstimator:
         """Estimated group count of a group-by over ``group_columns``."""
         return estimate_group_count(stats, list(group_columns))
 
+    # ---------------------------------------------------- refresh (delta) costs
+
+    def delta_propagation_ratio(self, view: Expression, relation: str) -> float:
+        """Estimated view-rows produced per delta-row of ``relation``.
+
+        The differential of a view with respect to a single-relation update
+        scales (to first order) with the delta size: a delta of ``n`` tuples
+        on ``R`` flows through the view's joins and filters the same way
+        ``R``'s own tuples do, producing roughly
+        ``n * card(view) / card(R)`` changed view tuples.  The ratio is
+        clamped below at a small floor so propagation work never estimates
+        to zero — even a fully filtered-out delta costs a probe per tuple.
+        """
+        relation_cardinality = max(1.0, self.catalog.stats(relation).cardinality)
+        view_cardinality = self.cardinality(view)
+        return max(0.05, view_cardinality / relation_cardinality)
+
+    def refresh_round_cost(
+        self,
+        views: Mapping[str, Expression],
+        delta_sizes: Mapping[str, Tuple[int, int]],
+        update_overhead_rows: float = 64.0,
+        index_rebuild_fraction: Optional[float] = None,
+        indexed_relations: Union[Iterable[str], Mapping[str, int]] = (),
+    ) -> float:
+        """Estimated cost of one refresh round, in delta-row-equivalents.
+
+        ``delta_sizes`` maps each updated relation to its ``(inserts,
+        deletes)`` bag sizes.  The model mirrors what
+        :class:`~repro.maintenance.maintainer.ViewRefresher` actually does:
+
+        * every non-empty single-relation update pays a fixed overhead
+          (``update_overhead_rows``) for differential set-up — plan lookups,
+          old-value cache checks, per-view dispatch;
+        * every delta row pays the propagation ratio of each view that
+          depends on the updated relation
+          (:meth:`delta_propagation_ratio`);
+        * when ``index_rebuild_fraction`` is given and a relation's insert
+          bag exceeds that fraction of its cardinality, the incremental
+          index maintenance of ``Database.apply_update`` falls back to a
+          full rebuild — charged here as one pass over the relation per
+          declared index.  ``indexed_relations`` is either a mapping
+          relation → index count, or a plain iterable of relation names
+          (one index each).
+
+        This is the quantity the :class:`~repro.stream.StreamScheduler`
+        compares between *replaying pending rounds eagerly* and *one
+        coalesced deferred round*.
+        """
+        if isinstance(indexed_relations, Mapping):
+            index_counts = dict(indexed_relations)
+        else:
+            index_counts = {relation: 1 for relation in indexed_relations}
+        cost = 0.0
+        for relation, (inserts, deletes) in delta_sizes.items():
+            relation_rows = float(inserts) + float(deletes)
+            if relation_rows <= 0:
+                continue
+            # One overhead per non-empty single-relation update (δ+ and δ−
+            # are propagated separately, per the paper's 1..2n numbering).
+            cost += update_overhead_rows * ((inserts > 0) + (deletes > 0))
+            for view in views.values():
+                if relation in base_relations(view):
+                    cost += relation_rows * self.delta_propagation_ratio(view, relation)
+            indexes = index_counts.get(relation, 0)
+            if index_rebuild_fraction is not None and indexes > 0:
+                cardinality = max(1.0, self.catalog.stats(relation).cardinality)
+                if inserts > index_rebuild_fraction * cardinality:
+                    cost += indexes * cardinality
+        return cost
+
     # ---------------------------------------------------------------- feedback
 
     def record_actual(

@@ -17,7 +17,7 @@ from repro.catalog.schema import Schema, TableDef
 from repro.catalog.statistics import TableStats
 from repro.storage.delta import Delta, DeltaKind
 from repro.storage.index import HashIndex, SortedIndex, build_index
-from repro.storage.relation import Relation, Row
+from repro.storage.relation import Relation, Row, multiset_subtract
 
 #: Delta fraction beyond which a full index rebuild beats incremental
 #: maintenance (sorted-index splicing degrades towards re-sort cost).
@@ -232,20 +232,16 @@ class Database:
                 f"incompatible schemas: {current.schema.names} vs {delta_rows.schema.names}"
             )
         entries = self._indexes_on(name)
+        if not entries:
+            # No indexes to remap: plain bag difference, no position tracking.
+            kept = multiset_subtract(current.rows, delta_rows.rows)
+            updated = Relation.from_trusted_rows(current.schema, kept, name)
+            self._store(name, updated)
+            return updated
         remaining = Counter(delta_rows.rows)
         get = remaining.get
         kept: List[Row] = []
         append = kept.append
-        if not entries:
-            # No indexes to remap: plain bag difference, no position tracking.
-            for row in current.rows:
-                if get(row, 0) > 0:
-                    remaining[row] -= 1
-                else:
-                    append(row)
-            updated = Relation.from_trusted_rows(current.schema, kept, name)
-            self._store(name, updated)
-            return updated
         old_to_new: List[Optional[int]] = []
         for row in current.rows:
             if get(row, 0) > 0:

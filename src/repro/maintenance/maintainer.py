@@ -167,16 +167,49 @@ class ViewRefresher:
         (pre-update) state, the view contents are merged, and only then is
         the base relation itself updated.
         """
+        return self.refresh_many([deltas])
+
+    def refresh_many(self, rounds: Sequence[DeltaStore]) -> RefreshReport:
+        """Propagate a sequence of update rounds in one refresh session.
+
+        This is the multi-round entry the stream scheduler flushes through:
+        compared with calling :meth:`refresh` once per round it shares a
+        single :class:`~repro.engine.differential.OldValueCache` across all
+        flushed rounds (old values, sub-expression deltas and hash builds
+        survive between rounds until a base update actually invalidates
+        them), keeps temporaries materialized across rounds under the same
+        staleness discipline, and rebuilds recomputation-maintained views
+        only once, against the fully updated database.
+        """
         report = RefreshReport()
-        incremental_views = {
-            name: expr for name, expr in self.views.items() if name not in self.recompute_views
-        }
-        # One old-value cache spans the whole refresh: within a round, shared
+        # One old-value cache spans the whole flush: within a round, shared
         # sub-expressions (and their hash builds) evaluate once across all
         # views; across rounds, entries survive until a base update actually
         # invalidates them (advance_round's dependency check).
         round_cache = OldValueCache() if self._diff_engine is not None else None
+        incremental_views = {
+            name: expr for name, expr in self.views.items() if name not in self.recompute_views
+        }
+        for deltas in rounds:
+            self._refresh_round(deltas, incremental_views, report, round_cache)
 
+        # Views maintained by recomputation are rebuilt once, at the end,
+        # against the fully updated database.
+        for name in self.recompute_views:
+            if name in self.views:
+                self.database.materialize_view(name, self._compute(self.views[name]))
+                report.recomputed_views.append(name)
+        self._drop_all_temporaries()
+        return report
+
+    def _refresh_round(
+        self,
+        deltas: DeltaStore,
+        incremental_views: Mapping[str, Expression],
+        report: RefreshReport,
+        round_cache: Optional[OldValueCache],
+    ) -> None:
+        """Propagate one round's updates (incremental views only)."""
         for update in deltas.update_ids(only_nonempty=True):
             delta_rows = deltas.relation_delta(update.relation, update.kind)
             self._materialize_temporaries(update.relation)
@@ -205,15 +238,6 @@ class ViewRefresher:
             self._flag_stale_temporaries(update.relation)
             if round_cache is not None:
                 round_cache.advance_round(update.relation)
-
-        # Views maintained by recomputation are rebuilt once, at the end,
-        # against the fully updated database.
-        for name in self.recompute_views:
-            if name in self.views:
-                self.database.materialize_view(name, self._compute(self.views[name]))
-                report.recomputed_views.append(name)
-        self._drop_all_temporaries()
-        return report
 
     # ------------------------------------------------------------ differentials
 

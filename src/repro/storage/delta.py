@@ -12,10 +12,11 @@ ordered by the relation order, and propagated one at a time.
 from __future__ import annotations
 
 import enum
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.storage.relation import Relation
+from repro.storage.relation import Relation, multiset_subtract
 
 
 class DeltaKind(enum.Enum):
@@ -42,6 +43,11 @@ class Delta:
     def is_empty(self) -> bool:
         """Whether neither inserts nor deletes are present."""
         return not len(self.inserts) and not len(self.deletes)
+
+    @property
+    def row_count(self) -> int:
+        """Total tuples across both bags (the size the refresh must propagate)."""
+        return len(self.inserts) + len(self.deletes)
 
     def part(self, kind: DeltaKind) -> Relation:
         """The insert or delete bag."""
@@ -89,6 +95,15 @@ class DeltaStore:
             raise KeyError(f"relation {delta.relation!r} not part of this refresh")
         self._deltas[delta.relation] = delta
 
+    def add_relation(self, relation: str) -> None:
+        """Append a relation to the propagation order if not present yet.
+
+        Used by consumers that grow a store incrementally (the stream
+        pending buffer absorbing rounds that touch new relations).
+        """
+        if relation not in self._order:
+            self._order.append(relation)
+
     def delta(self, relation: str) -> Optional[Delta]:
         """The delta for ``relation``, or ``None`` if it has no updates."""
         return self._deltas.get(relation)
@@ -133,6 +148,18 @@ class DeltaStore:
         number = 2 * i + (1 if kind is DeltaKind.INSERT else 2)
         return UpdateId(number, relation, kind)
 
+    def total_rows(self) -> int:
+        """Total tuples across every relation's insert and delete bags."""
+        return sum(delta.row_count for delta in self._deltas.values())
+
+    def delta_sizes(self) -> Dict[str, Tuple[int, int]]:
+        """Per-relation ``(inserts, deletes)`` bag sizes, in propagation order."""
+        return {
+            rel: (len(self._deltas[rel].inserts), len(self._deltas[rel].deletes))
+            for rel in self._order
+            if rel in self._deltas
+        }
+
     def __iter__(self) -> Iterator[Delta]:
         for rel in self._order:
             if rel in self._deltas:
@@ -146,3 +173,131 @@ def update_numbering(relations: Sequence[str]) -> List[UpdateId]:
     """Stand-alone helper producing the paper's ``1..2n`` update numbering."""
     store = DeltaStore(relations)
     return store.update_ids()
+
+
+# ----------------------------------------------------------------- coalescing
+
+@dataclass
+class CoalesceOutcome:
+    """Result of composing two consecutive deltas of one relation."""
+
+    delta: Delta
+    #: Tuples that annihilated: rows inserted by the earlier delta and deleted
+    #: again by the later one (counted with multiplicity).  They vanish from
+    #: both bags — the refresh never sees them.
+    annihilated: int
+
+
+def coalesce_delta(earlier: Delta, later: Delta) -> CoalesceOutcome:
+    """Compose two consecutive single-relation deltas into one.
+
+    For any base bag ``R`` with ``earlier = (i₁, d₁)`` applied before
+    ``later = (i₂, d₂)``, the coalesced delta ``(I, D)`` satisfies
+
+        ((R − d₁) ∪ i₁ − d₂) ∪ i₂  ==  (R − D) ∪ I        (bag equality)
+
+    with the standard composition: later deletes first cancel against
+    still-pending earlier inserts (insert-then-delete annihilates — those
+    tuples never existed as far as any view is concerned), the remainder
+    joins the delete bag:
+
+        I = (i₁ − d₂) ∪ i₂
+        D = d₁ ∪ (d₂ − i₁)
+
+    Delete-then-insert is deliberately *not* cancelled: ``d₁`` rows stay in
+    ``D`` even when ``i₂`` re-inserts equal tuples, preserving the multiset
+    accounting without assuming anything about ``R``'s contents.
+
+    Both bags are composed with counted multiset semantics (one cancellation
+    per matching copy), vectorized over the row lists with a single
+    :class:`collections.Counter` pass per bag.
+    """
+    if earlier.relation != later.relation:
+        raise ValueError(
+            f"cannot coalesce deltas of different relations "
+            f"{earlier.relation!r} and {later.relation!r}"
+        )
+    pending_inserts = Counter(earlier.inserts.rows)
+    # d₂ splits into the part that cancels pending inserts and the rest.
+    cancelled: Counter = Counter()
+    surviving_deletes: List[Tuple] = []
+    for row in later.deletes.rows:
+        if pending_inserts[row] - cancelled[row] > 0:
+            cancelled[row] += 1
+        else:
+            surviving_deletes.append(row)
+    # i₁ minus the cancelled copies, then i₂ appended.
+    kept_inserts = multiset_subtract(earlier.inserts.rows, cancelled.elements())
+    kept_inserts.extend(later.inserts.rows)
+
+    schema = earlier.inserts.schema
+    inserts = Relation.from_trusted_rows(schema, kept_inserts, earlier.inserts.name)
+    deletes = Relation.from_trusted_rows(
+        earlier.deletes.schema,
+        earlier.deletes.rows + surviving_deletes,
+        earlier.deletes.name,
+    )
+    annihilated = sum(cancelled.values())
+    return CoalesceOutcome(Delta(earlier.relation, inserts, deletes), annihilated)
+
+
+def merge_delta_sizes(
+    *size_maps: "Dict[str, Tuple[int, int]]",
+) -> Dict[str, Tuple[int, int]]:
+    """Element-wise sum of per-relation ``(inserts, deletes)`` size maps.
+
+    First-appearance order is preserved — callers that derive an update
+    numbering from the result (e.g. ``Warehouse._spec_of``) rely on it.
+    """
+    merged: Dict[str, Tuple[int, int]] = {}
+    for sizes in size_maps:
+        for relation, (inserts, deletes) in sizes.items():
+            have = merged.get(relation, (0, 0))
+            merged[relation] = (have[0] + inserts, have[1] + deletes)
+    return merged
+
+
+def merge_round(merged: DeltaStore, deltas: Iterable[Delta]) -> int:
+    """Compose one round's deltas into ``merged`` in place.
+
+    Each relation delta either lands verbatim (bags copied — the caller
+    keeps ownership of the incoming round) or is coalesced onto the
+    relation's pending delta via :func:`coalesce_delta`; relations the
+    round does not touch are never re-copied.  Returns the number of
+    tuples annihilated by this round.
+    """
+    annihilated = 0
+    for delta in deltas:
+        merged.add_relation(delta.relation)
+        pending = merged.delta(delta.relation)
+        if pending is None:
+            merged.set_delta(
+                Delta(delta.relation, delta.inserts.copy(), delta.deletes.copy())
+            )
+            continue
+        if not len(delta.deletes):
+            # Nothing can cancel: append in place to the owned bags instead
+            # of re-scanning everything pending — this keeps insert-heavy
+            # sessions O(arrived rows) per tick rather than O(pending).
+            pending.inserts.extend(delta.inserts.rows)
+            continue
+        outcome = coalesce_delta(pending, delta)
+        annihilated += outcome.annihilated
+        merged.set_delta(outcome.delta)
+    return annihilated
+
+
+def coalesce_stores(rounds: Sequence[DeltaStore]) -> Tuple[DeltaStore, int]:
+    """Fold a sequence of update rounds into one coalesced :class:`DeltaStore`.
+
+    The relation order of the first round wins (relations appearing only in
+    later rounds are appended); returns the coalesced store plus the total
+    number of annihilated tuples across all relations.
+    """
+    if not rounds:
+        raise ValueError("cannot coalesce an empty sequence of rounds")
+    merged = DeltaStore(rounds[0].relation_order)
+    annihilated = 0
+    for store in rounds:
+        annihilated += merge_round(merged, store)
+    return merged, annihilated

@@ -19,6 +19,25 @@ from repro.catalog.schema import Column, ColumnType, Schema
 Row = Tuple[Any, ...]
 
 
+def multiset_subtract(rows: Iterable[Row], excluded: Iterable[Row]) -> List[Row]:
+    """``rows`` with one copy removed per row in ``excluded`` (bag difference).
+
+    Order-preserving over ``rows``; excluded rows with no match are simply
+    ignored.  The shared kernel for every "remove this multiset from that
+    pool" scan (delete-pool filtering in the update generators, etc.).
+    """
+    remaining = Counter(excluded)
+    if not remaining:
+        return list(rows)
+    kept: List[Row] = []
+    for row in rows:
+        if remaining.get(row, 0) > 0:
+            remaining[row] -= 1
+        else:
+            kept.append(row)
+    return kept
+
+
 def reservoir_sample(rows: Iterable[Row], k: int, rng: random.Random) -> List[Row]:
     """Uniform sample of up to ``k`` rows in one pass (Vitter's algorithm R).
 

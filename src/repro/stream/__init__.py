@@ -1,0 +1,28 @@
+"""Streaming update ingestion: delta coalescing + cost-based deferred refresh.
+
+The paper's optimizer decides *what* to materialize by pricing maintenance
+work; this package adds the time dimension — *when* to pay that work under a
+continuous update stream:
+
+* :class:`PendingDeltas` — the buffer between update producers and the
+  refresher, coalescing consecutive rounds (insert/delete annihilation,
+  N rounds → one bag) so one refresh replaces many;
+* :class:`StreamPolicy` / :class:`StreamScheduler` — per-tick refresh-or-defer
+  decisions comparing estimated deferred cost (bigger coalesced delta,
+  possible index-rebuild fallback) against eager replay, bounded by
+  staleness limits (``max_rows``, ``max_batches``);
+* :class:`TickDecision` — one trace entry, rendered by
+  ``Warehouse.stream().explain_schedule()``.
+
+The public entry point is :meth:`repro.api.Warehouse.stream`.
+"""
+
+from repro.stream.pending import PendingDeltas
+from repro.stream.scheduler import StreamPolicy, StreamScheduler, TickDecision
+
+__all__ = [
+    "PendingDeltas",
+    "StreamPolicy",
+    "StreamScheduler",
+    "TickDecision",
+]

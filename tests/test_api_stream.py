@@ -1,0 +1,339 @@
+"""Behavior of the streaming façade: ``Warehouse.stream()``.
+
+Covers the session lifecycle (ingest/flush/close, context manager), the
+policy decisions surfaced through ``explain_schedule()``, the config knobs,
+and the end-to-end guarantee that a deferred coalesced session leaves the
+database in the same state as an eager one fed the identical rounds.
+"""
+
+import pytest
+
+from repro import (
+    Q,
+    StreamClosedError,
+    StreamPolicy,
+    Warehouse,
+    WarehouseConfig,
+    WarehouseError,
+)
+from repro.catalog.schema import Schema
+from repro.storage.delta import Delta, DeltaStore
+from repro.storage.relation import Relation
+from repro.stream import StreamScheduler
+from repro.workloads.updategen import generate_update_stream
+
+
+def small_warehouse(**config_overrides):
+    wh = Warehouse(WarehouseConfig.profile("fast", **config_overrides))
+    wh.load(scale=0.05)
+    wh.load_data(scale=0.002)
+    wh.define_view(
+        "v_rev",
+        Q.table("lineitem").join("orders").join("customer").join("nation")
+        .group_by("n_name")
+        .sum("l_extendedprice", "revenue"),
+    )
+    wh.optimize()
+    return wh
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    return small_warehouse()
+
+
+def fresh_session(wh, policy=None):
+    # Re-materialize views so each test starts from a consistent state.
+    wh.apply(0.0)
+    return wh.stream(policy)
+
+
+# ----------------------------------------------------------------- lifecycle
+
+def test_coalescing_session_defers_then_flushes_on_close():
+    wh = small_warehouse()
+    with wh.stream() as session:
+        for _ in range(3):
+            decision = session.ingest(0.01)
+            assert not decision.refreshes
+        assert session.pending_batches == 3
+        assert session.pending_rows > 0
+    assert session.closed
+    assert len(session.reports) == 1
+    assert session.reports[0].rounds == 1  # coalesced into one round
+    assert all(wh.verify().values())
+
+
+def test_eager_policy_refreshes_every_ingest():
+    wh = small_warehouse()
+    with wh.stream("eager") as session:
+        for _ in range(2):
+            decision = session.ingest(0.01)
+            assert decision.refreshes
+    assert len(session.reports) == 2
+    assert all(wh.verify().values())
+
+
+def test_closed_session_rejects_ingest_and_flush(warehouse):
+    session = fresh_session(warehouse)
+    session.close()
+    with pytest.raises(StreamClosedError):
+        session.ingest(0.01)
+    with pytest.raises(StreamClosedError):
+        session.flush()
+    # Closing twice is a no-op.
+    assert session.close() is None
+
+
+def test_flush_with_nothing_pending_returns_none(warehouse):
+    session = fresh_session(warehouse)
+    assert session.flush() is None
+    assert session.skipped_flushes == 0
+    session.close()
+
+
+def test_ingest_rejects_bad_batch_type(warehouse):
+    session = fresh_session(warehouse)
+    with pytest.raises(WarehouseError, match="DeltaStore"):
+        session.ingest("5 percent")
+    session.close()
+
+
+def test_ingest_rejects_unknown_relation_before_buffering(warehouse):
+    session = fresh_session(warehouse)
+    schema = Schema.from_names(["x"])
+    bogus = DeltaStore(["linitem"])
+    bogus.set_delta(Delta("linitem", Relation(schema, [(1,)]), Relation(schema, [])))
+    # A typo'd relation is rejected at ingest time — a flush failure would
+    # poison the session, so the bad round must never enter the buffer.
+    with pytest.raises(WarehouseError, match="lineitem"):
+        session.ingest(bogus)
+    assert not session.closed and session.pending_batches == 0
+    session.close()
+
+
+def test_ingest_rejects_wrong_arity_before_buffering(warehouse):
+    session = fresh_session(warehouse)
+    bad = DeltaStore(["nation"])
+    schema = Schema.from_names(["x"])  # nation has 4 columns
+    bad.set_delta(Delta("nation", Relation(schema, [(1,)]), Relation(schema, [])))
+    with pytest.raises(WarehouseError, match="arity"):
+        session.ingest(bad)
+    # Empty bags too: the pending buffer adopts the first round's bag as
+    # its schema template, so a malformed empty bag must also be refused.
+    sneaky = DeltaStore(["nation"])
+    nation_schema = warehouse.database.table("nation").schema
+    sneaky.set_delta(
+        Delta(
+            "nation",
+            Relation(nation_schema, [tuple([None] * len(nation_schema))]),
+            Relation(schema, []),  # empty, but with the wrong schema
+        )
+    )
+    with pytest.raises(WarehouseError, match="arity"):
+        session.ingest(sneaky)
+    assert not session.closed and session.pending_batches == 0
+    session.close()
+
+
+def test_stream_rejects_unknown_policy(warehouse):
+    with pytest.raises(WarehouseError, match="eager"):
+        warehouse.stream("lazy")
+    with pytest.raises(WarehouseError):
+        warehouse.stream(42)
+
+
+def test_stream_requires_views_and_wraps_policy_errors(warehouse):
+    # A never-flushing caller-built policy surfaces as WarehouseError.
+    with pytest.raises(WarehouseError, match="never trigger"):
+        warehouse.stream(StreamPolicy.coalescing(cost_based=False))
+    # No views defined: rejected at stream() like apply() does.
+    empty = Warehouse(WarehouseConfig.profile("fast")).load_data(scale=0.002)
+    with pytest.raises(WarehouseError, match="no views defined"):
+        empty.stream()
+
+
+# ------------------------------------------------------------ staleness bounds
+
+def test_max_batches_bound_forces_flush():
+    wh = small_warehouse(stream_max_batches=2)
+    session = wh.stream()
+    first = session.ingest(0.01)
+    second = session.ingest(0.01)
+    assert not first.refreshes
+    assert second.refreshes
+    assert "staleness bound" in second.reason
+    assert len(session.reports) == 1
+    session.close()
+
+
+def test_max_rows_bound_forces_flush():
+    wh = small_warehouse(stream_max_rows=1)
+    session = wh.stream()
+    decision = session.ingest(0.01)
+    assert decision.refreshes
+    assert "rows pending" in decision.reason
+    session.close()
+
+
+def test_config_policy_knobs_validate():
+    with pytest.raises(WarehouseError, match="stream policy"):
+        WarehouseConfig(stream_policy="sometimes")
+    with pytest.raises(WarehouseError, match="stream_max_rows"):
+        WarehouseConfig(stream_max_rows=0)
+    with pytest.raises(WarehouseError, match="stream_max_batches"):
+        WarehouseConfig(stream_max_batches=-1)
+    with pytest.raises(WarehouseError, match="trigger a refresh"):
+        WarehouseConfig(
+            stream_cost_based=False, stream_max_rows=None, stream_max_batches=None
+        )
+    eager = WarehouseConfig(stream_policy="eager").make_stream_policy()
+    assert eager.eager and not eager.coalesce
+    coalescing = WarehouseConfig(stream_max_rows=10).make_stream_policy()
+    assert coalescing.coalesce and coalescing.max_rows == 10
+
+
+def test_stream_policy_bounds_validate():
+    with pytest.raises(ValueError):
+        StreamPolicy.coalescing(max_rows=0)
+    with pytest.raises(ValueError):
+        StreamPolicy.coalescing(max_batches=0)
+
+
+# ----------------------------------------------------------- decision trace
+
+def test_explain_schedule_renders_ticks_and_summary():
+    wh = small_warehouse()
+    session = wh.stream()
+    session.ingest(0.01)
+    session.ingest(0.01)
+    text = session.explain_schedule()
+    assert "stream policy: coalesce" in text
+    assert "tick 1:" in text and "tick 2:" in text
+    assert "defer" in text
+    session.flush()
+    text = session.explain_schedule()
+    assert "flushes: 1" in text
+    session.close()
+
+
+def test_scheduler_rejects_policies_that_can_never_flush():
+    # No cost model and no staleness bound: nothing could ever trigger a
+    # refresh, so the scheduler refuses the configuration up front.
+    with pytest.raises(ValueError, match="never trigger"):
+        StreamScheduler(StreamPolicy.coalescing(cost_based=False))
+    with pytest.raises(ValueError, match="never trigger"):
+        StreamScheduler(StreamPolicy.coalescing(), round_cost=None)
+
+
+def test_scheduler_without_cost_model_defers_within_bounds():
+    scheduler = StreamScheduler(StreamPolicy.coalescing(max_batches=3))
+    schema = Schema.from_names(["x"])
+    one_row_store = DeltaStore(["r"])
+    one_row_store.set_delta(
+        Delta("r", Relation(schema, [(1,)]), Relation(schema, []))
+    )
+    assert scheduler.ingest(one_row_store).action == "defer"
+    assert scheduler.ingest(one_row_store).action == "defer"
+    assert scheduler.ingest(one_row_store).action == "refresh"
+
+
+# ----------------------------------------------- deferred ≡ eager, end to end
+
+def test_deferred_session_matches_eager_session_on_same_stream():
+    wh_eager = small_warehouse()
+    wh_deferred = small_warehouse()
+    # One shared, pre-generated stream with insert/delete overlap, valid for
+    # replay from the identical starting state both warehouses loaded.
+    rounds = generate_update_stream(
+        wh_eager.database, 0.02, rounds=4, relations=wh_eager.view_relations,
+        overlap=0.5, seed=99,
+    )
+    wh_eager.apply(0.0)
+    wh_deferred.apply(0.0)
+
+    with wh_eager.stream("eager") as eager:
+        for deltas in rounds:
+            eager.ingest(deltas)
+    with wh_deferred.stream() as deferred:
+        for deltas in rounds:
+            deferred.ingest(deltas)
+
+    assert deferred.annihilated_rows > 0
+    for table in wh_eager.view_relations:
+        assert wh_eager.database.table(table).same_bag(
+            wh_deferred.database.table(table)
+        ), table
+    assert wh_eager.database.view("v_rev").same_bag(wh_deferred.database.view("v_rev"))
+    assert all(wh_eager.verify().values())
+    assert all(wh_deferred.verify().values())
+
+
+def test_failed_flush_poisons_session_and_keeps_rounds_inspectable(monkeypatch):
+    wh = small_warehouse()
+    session = wh.stream()
+    session.ingest(0.02)
+    assert session.pending_rows > 0
+
+    def boom(rounds, **kwargs):
+        raise WarehouseError("refresh exploded")
+
+    monkeypatch.setattr(wh, "_refresh_rounds", boom)
+    with pytest.raises(WarehouseError, match="exploded"):
+        session.flush()
+    # The refresh is non-transactional, so retrying could double-apply:
+    # the session is poisoned, with the rounds readable for diagnosis.
+    assert session.closed
+    assert session.failed_rounds and session.failed_rounds[0].total_rows() > 0
+    assert len(session.reports) == 0
+    with pytest.raises(StreamClosedError):
+        session.flush()
+    with pytest.raises(StreamClosedError):
+        session.ingest(0.01)
+
+
+def test_key_sequences_survive_flushes_without_reuse():
+    wh = small_warehouse()
+    session = wh.stream()
+    # Big generated batches whose deletes shrink the tables below the key
+    # high-water mark; a second generated ingest after the flush must not
+    # re-issue keys that the first round already used.
+    session.ingest(0.2)
+    session.flush()
+    session.ingest(0.2)
+    session.flush()
+    session.close()
+    for table in ("orders", "customer"):
+        keys = [row[0] for row in wh.database.table(table).rows]
+        assert len(keys) == len(set(keys)), f"duplicate primary keys in {table}"
+    assert all(wh.verify().values())
+
+
+def test_mixed_deltastore_and_generated_ingests_share_key_space():
+    from repro.workloads.updategen import uniform_deltas
+
+    wh = small_warehouse()
+    session = wh.stream()
+    # A caller-supplied store's inserts (which continue the key sequence at
+    # len(table)) must push the generated path's high-water mark forward.
+    session.ingest(uniform_deltas(wh.database, 0.10, relations=wh.view_relations))
+    session.ingest(0.10)
+    session.flush()
+    session.close()
+    for table in ("orders", "customer"):
+        keys = [row[0] for row in wh.database.table(table).rows]
+        assert len(keys) == len(set(keys)), f"duplicate primary keys in {table}"
+    assert all(wh.verify().values())
+
+
+def test_generated_ingests_never_delete_a_tuple_twice():
+    wh = small_warehouse()
+    session = wh.stream()
+    # Deferred generated rounds: the exclusion bookkeeping must keep every
+    # coalesced delete satisfiable against the stored base tables.
+    for _ in range(3):
+        session.ingest(0.03)
+    report = session.flush()
+    assert report is not None
+    assert all(wh.verify().values())
+    session.close()

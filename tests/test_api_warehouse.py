@@ -295,13 +295,32 @@ def test_report_is_not_vacuously_verified(tiny_tpcd_database):
     assert not report.verified
 
 
+def test_repeated_apply_never_reissues_primary_keys(tiny_tpcd_database):
+    from repro.maintenance.update_spec import RelationUpdate, UpdateSpec
+
+    wh = Warehouse().load_data(database=tiny_tpcd_database.copy())
+    wh.define_view("v", Q.table("orders").join("customer"))
+    # A delete-heavy batch shrinks the tables below the key high-water mark;
+    # the next generated batch must continue the sequences, not restart them
+    # at len(table) and re-issue keys of rows that still exist.
+    wh.apply(UpdateSpec({
+        "orders": RelationUpdate(insert_fraction=0.05, delete_fraction=0.30),
+        "customer": RelationUpdate(insert_fraction=0.05, delete_fraction=0.30),
+    }))
+    wh.apply(0.10)
+    for table in ("orders", "customer"):
+        keys = [row[0] for row in wh.database.table(table).rows]
+        assert len(keys) == len(set(keys)), f"duplicate primary keys in {table}"
+    assert wh.verify() == {"v": True}
+
+
 def test_lazy_optimize_uses_the_delta_store_actual_fractions(tiny_tpcd_database):
     from repro.workloads.updategen import uniform_deltas
 
     wh = Warehouse().load_data(database=tiny_tpcd_database.copy())
     wh.define_view("v", Q.table("orders").join("customer"))
     deltas = uniform_deltas(wh.database, 0.40, relations=["customer", "orders"])
-    spec = wh._spec_of(deltas)
+    spec = wh._spec_of([deltas])
     assert spec.for_relation("orders").insert_fraction == pytest.approx(0.40, rel=0.1)
     assert spec.for_relation("orders").delete_fraction == pytest.approx(0.20, rel=0.1)
     # And the lazy optimize inside apply() prices exactly that spec: at a

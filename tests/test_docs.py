@@ -1,0 +1,56 @@
+"""The documentation cannot rot: README blocks execute, links resolve.
+
+This runs the same checks as ``tools/check_docs.py`` (which the CI docs job
+invokes as a script) inside the tier-1 suite, so a PR that changes the
+public API without updating the README fails locally too.
+"""
+
+import importlib.util
+import os
+
+_TOOL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tools",
+    "check_docs.py",
+)
+_spec = importlib.util.spec_from_file_location("check_docs", _TOOL)
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+def test_readme_has_python_blocks():
+    blocks = check_docs.python_blocks("README.md")
+    assert blocks, "README.md lost its executable quickstart"
+    assert any("Warehouse" in block for block in blocks)
+
+
+def test_readme_python_blocks_execute_verbatim():
+    executed = check_docs.run_python_blocks("README.md")
+    assert executed >= 2  # the quickstart and the streaming example
+
+
+def test_intra_doc_links_resolve():
+    broken = check_docs.check_links()
+    assert not broken, "\n".join(broken)
+
+
+def test_link_scan_ignores_code_fences():
+    text = (
+        "# Real heading\n"
+        "```python\n"
+        "# Phantom heading\n"
+        "x = {}[1](2)\n"
+        "```\n"
+        "[ok](#real-heading)\n"
+    )
+    stripped = check_docs._without_fences(text)
+    assert "Phantom" not in stripped
+    assert check_docs._HEADING.findall(stripped) == ["Real heading"]
+    assert check_docs._LINK.findall(stripped) == ["#real-heading"]
+
+
+def test_github_anchor_slugs():
+    assert check_docs._github_anchor("How a stream becomes a refresh") == (
+        "how-a-stream-becomes-a-refresh"
+    )
+    assert check_docs._github_anchor("WarehouseConfig knobs") == "warehouseconfig-knobs"

@@ -1,0 +1,126 @@
+"""Documentation checks: executable README blocks + intra-doc link integrity.
+
+Run as ``python tools/check_docs.py`` (the CI docs job does).  Two checks:
+
+1. **README code blocks execute.**  Every fenced ```python block in
+   ``README.md`` is executed verbatim in a fresh namespace, so the
+   documented quickstart can never rot relative to the public API.
+2. **Intra-doc links resolve.**  Every relative markdown link in the
+   checked documents must point at an existing file (and, for ``#anchor``
+   fragments, at an existing heading of the target document).
+
+The functions are import-friendly so ``tests/test_docs.py`` can run the
+same checks inside the tier-1 suite without a subprocess.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import re
+import sys
+from contextlib import redirect_stdout
+from typing import List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Documents whose code blocks and links are checked.
+CHECKED_DOCUMENTS = ("README.md", "ARCHITECTURE.md", "docs/index.md")
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+_ANY_FENCE = re.compile(r"```.*?```", re.DOTALL)
+# Inline markdown links [text](target); images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _without_fences(text: str) -> str:
+    """The document with fenced code blocks blanked out.
+
+    Link and heading scans must not read code: a Python comment line looks
+    like a markdown heading (phantom anchors keep dead links green) and
+    ``[x](y)``-shaped code text looks like a link.
+    """
+    return _ANY_FENCE.sub("", text)
+
+
+def _read(path: str) -> str:
+    with open(os.path.join(REPO_ROOT, path), "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def python_blocks(document: str = "README.md") -> List[str]:
+    """The fenced ```python blocks of a document, in order."""
+    return [block for block in _FENCE.findall(_read(document))]
+
+
+def run_python_blocks(document: str = "README.md") -> int:
+    """Execute every python block of ``document``; returns how many ran.
+
+    Each block runs in its own namespace with stdout captured (the blocks
+    print their results for human readers; the check only cares that they
+    execute).  Any exception propagates, naming the block.
+    """
+    if os.path.join(REPO_ROOT, "src") not in sys.path:
+        sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    blocks = python_blocks(document)
+    for number, block in enumerate(blocks, start=1):
+        try:
+            with redirect_stdout(io.StringIO()):
+                exec(compile(block, f"<{document} block {number}>", "exec"), {})
+        except Exception as exc:  # pragma: no cover - the failure path
+            raise AssertionError(
+                f"{document} python block {number} failed to execute: {exc!r}\n"
+                f"--- block ---\n{block}"
+            ) from exc
+    return len(blocks)
+
+
+def _github_anchor(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def check_links(documents: Tuple[str, ...] = CHECKED_DOCUMENTS) -> List[str]:
+    """Broken relative links across ``documents`` (empty list = all good)."""
+    broken: List[str] = []
+    for document in documents:
+        base = os.path.dirname(os.path.join(REPO_ROOT, document))
+        for target in _LINK.findall(_without_fences(_read(document))):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path, _, fragment = target.partition("#")
+            if not path:
+                # Same-document anchor.
+                resolved = os.path.join(REPO_ROOT, document)
+            else:
+                resolved = os.path.normpath(os.path.join(base, path))
+            if not os.path.exists(resolved):
+                broken.append(f"{document}: {target} -> missing {resolved}")
+                continue
+            if fragment and resolved.endswith(".md"):
+                headings = _HEADING.findall(
+                    _without_fences(_read(os.path.relpath(resolved, REPO_ROOT)))
+                )
+                if fragment not in {_github_anchor(h) for h in headings}:
+                    broken.append(f"{document}: {target} -> no heading #{fragment}")
+    return broken
+
+
+def main() -> int:
+    executed = run_python_blocks("README.md")
+    print(f"README.md: {executed} python block(s) executed")
+    broken = check_links()
+    if broken:
+        print("broken intra-doc links:")
+        for line in broken:
+            print(f"  {line}")
+        return 1
+    print(f"links: ok across {', '.join(CHECKED_DOCUMENTS)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
