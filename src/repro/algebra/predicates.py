@@ -361,6 +361,88 @@ def compile_predicate(
     return lambda row: predicate.evaluate(row, schema)
 
 
+def compile_mask(
+    predicate: Optional[Predicate], schema: Schema
+) -> Callable[[Any], Any]:
+    """Compile a predicate into a whole-column boolean-mask producer.
+
+    The returned function takes a column store implementing the vector
+    protocol of ``repro.storage.columns`` (``full_mask`` /
+    ``compare_literal`` / ``compare_columns`` / ``rowwise_mask``) and
+    returns one boolean mask over every row.  Column positions are resolved
+    once at compile time, mirroring :func:`compile_predicate`; semantics
+    match it exactly, including the SQL-ish rule that comparisons against
+    ``None`` (literal or cell) are false.
+
+    One deliberate divergence: conjunctions and disjunctions evaluate every
+    part over the full column — there is no per-row short-circuit the way
+    the row closures have.  That is the standard vectorization trade: all
+    predicates in this engine compare consistently typed columns, so a
+    later conjunct never depends on an earlier one to guard its types.
+    """
+    if predicate is None or isinstance(predicate, TruePredicate):
+        return lambda store: store.full_mask(True)
+    if isinstance(predicate, Comparison):
+        op = predicate.op
+        left, right = predicate.left, predicate.right
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            pos = schema.index_of(left.name)
+            value = right.value
+            if value is None:
+                return lambda store: store.full_mask(False)
+            return lambda store: store.compare_literal(pos, op, value)
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            pos = schema.index_of(right.name)
+            value = left.value
+            if value is None:
+                return lambda store: store.full_mask(False)
+            return lambda store: store.compare_literal(pos, op, value, reverse=True)
+        if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+            lpos = schema.index_of(left.name)
+            rpos = schema.index_of(right.name)
+            return lambda store: store.compare_columns(lpos, op, rpos)
+        if isinstance(left, Literal) and isinstance(right, Literal):
+            if left.value is None or right.value is None:
+                return lambda store: store.full_mask(False)
+            result = _OPS[op](left.value, right.value)
+            return lambda store: store.full_mask(result)
+    if isinstance(predicate, And):
+        compiled = [compile_mask(part, schema) for part in predicate.parts]
+        if not compiled:
+            return lambda store: store.full_mask(True)
+        if len(compiled) == 1:
+            return compiled[0]
+
+        def all_of(store):
+            mask = compiled[0](store)
+            for fn in compiled[1:]:
+                mask = mask & fn(store)
+            return mask
+
+        return all_of
+    if isinstance(predicate, Or):
+        compiled = [compile_mask(part, schema) for part in predicate.parts]
+        if not compiled:
+            return lambda store: store.full_mask(False)
+        if len(compiled) == 1:
+            return compiled[0]
+
+        def any_of(store):
+            mask = compiled[0](store)
+            for fn in compiled[1:]:
+                mask = mask | fn(store)
+            return mask
+
+        return any_of
+    if isinstance(predicate, Not):
+        inner = compile_mask(predicate.inner, schema)
+        return lambda store: ~inner(store)
+    # Exotic predicate shapes fall back to the compiled row closure,
+    # evaluated row-at-a-time into a mask.
+    fn = compile_predicate(predicate, schema)
+    return lambda store: store.rowwise_mask(fn)
+
+
 def range_subsumes(general: Comparison, specific: Comparison) -> bool:
     """Whether ``specific`` is implied by ``general`` on the same column.
 

@@ -351,7 +351,7 @@ class ExecutionComparisonResult:
 
 
 def run_physical_vs_interpreter(
-    scale_factor: float = 0.004,
+    scale_factor: float = 0.01,
     repetitions: int = 3,
     views: Optional[Mapping[str, object]] = None,
 ) -> ExecutionComparisonResult:
@@ -488,7 +488,7 @@ class RefreshComparisonResult:
 
 
 def run_refresh_comparison(
-    scale_factor: float = 0.002,
+    scale_factor: float = 0.01,
     update_percentage: float = 0.05,
     refresh_rounds: int = 2,
 ) -> RefreshComparisonResult:

@@ -350,18 +350,27 @@ class TableStats:
         """
         sampler = getattr(relation, "sample", None)
         sampled = False
+        rows: Optional[list] = None
+        column_at = getattr(relation, "column_at", None)
         if sampler is not None and len(relation) > sample_size:
             rows = sampler(sample_size, seed=seed)
             card = float(len(relation))
+            observed = float(len(rows))
             sampled = True
         else:
-            rows = list(relation)
-            card = float(len(rows))
+            if column_at is None:
+                rows = list(relation)
+            card = float(len(relation) if rows is None else len(rows))
+            observed = card
         schema = schema or relation.schema
-        observed = float(len(rows))
         col_stats: Dict[str, ColumnStats] = {}
         for idx, col in enumerate(schema.columns):
-            values = [row[idx] for row in rows if row[idx] is not None]
+            if rows is None:
+                # Exact measurement straight off the column store: no row
+                # materialization for store-backed relations.
+                values = [v for v in column_at(idx) if v is not None]
+            else:
+                values = [row[idx] for row in rows if row[idx] is not None]
             null_fraction = (1.0 - len(values) / observed) if observed else 0.0
             population = card * (1.0 - null_fraction)
             if not sampled:

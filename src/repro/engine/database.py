@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.catalog.catalog import Catalog, IndexDef
 from repro.catalog.schema import Schema, TableDef
 from repro.catalog.statistics import TableStats
+from repro.storage.columns import NumpyColumnStore, numpy as _np
 from repro.storage.delta import Delta, DeltaKind
 from repro.storage.index import HashIndex, SortedIndex, build_index
 from repro.storage.relation import Relation, Row, multiset_subtract
@@ -22,6 +23,12 @@ from repro.storage.relation import Relation, Row, multiset_subtract
 #: Delta fraction beyond which a full index rebuild beats incremental
 #: maintenance (sorted-index splicing degrades towards re-sort cost).
 INCREMENTAL_INDEX_FRACTION = 0.25
+
+#: Row count from which an update builds a column store for a relation that
+#: does not have one yet.  The build is a one-off dtype-inference pass; it
+#: pays for itself because the store is carried across every later merge,
+#: which then runs columnar instead of re-walking Python row tuples.
+_STORE_CARRY_MIN_ROWS = 4096
 
 
 class DatabaseError(KeyError):
@@ -202,17 +209,63 @@ class Database:
     def _indexes_on(self, name: str) -> List[Tuple[Tuple[str, Tuple[str, ...], str], object]]:
         return [(key, built) for key, built in self._indexes.items() if key[0] == name]
 
+    def _carry_store(self, name: str, current: Relation):
+        """The column store to maintain across an update, or ``None``.
+
+        Base tables carry their stores forward because every differential's
+        ``old()`` evaluation re-reads them; keeping the columns current saves
+        a full dtype-inference rebuild per update.  Views carry theirs so the
+        merge itself can run columnar (:meth:`_vector_delete_mask`) instead
+        of re-materializing the whole view as row tuples each round.
+
+        A relation that arrives row-backed gets a store built once it is
+        large enough for the build to amortize over the carried rounds —
+        after that every merge stays columnar.
+        """
+        store = current.cached_store()
+        if store is None:
+            store = current.vector_store(_STORE_CARRY_MIN_ROWS)
+        return store
+
+    @staticmethod
+    def _delta_tail(carried, delta_rows: Relation, current: Relation):
+        """The insert bag as a store of ``carried``'s kind, reusing its own."""
+        tail = delta_rows.cached_store()
+        if tail is not None and type(tail) is type(carried):
+            return tail
+        return type(carried).from_rows(delta_rows.rows, len(current.schema))
+
     def _apply_insert(self, name: str, current: Relation, delta_rows: Relation) -> Relation:
         """Append an insert bag; index the appended tail incrementally."""
         if len(current.schema) != len(delta_rows.schema):
             raise ValueError(
                 f"incompatible schemas: {current.schema.names} vs {delta_rows.schema.names}"
             )
+        carried = self._carry_store(name, current)
+        entries = self._indexes_on(name)
+        if carried is not None and not entries:
+            # Pure columnar append: the old rows never have to exist as
+            # tuples.  (Index maintenance below needs the row list, so
+            # indexed relations stay on the row path and just adopt.)
+            updated = Relation.from_store(
+                current.schema,
+                carried.concat(self._delta_tail(carried, delta_rows, current)),
+                name,
+            )
+            self._store(name, updated)
+            return updated
         updated = Relation.from_trusted_rows(
             current.schema, current.rows + delta_rows.rows, name
         )
+        if carried is not None and len(delta_rows):
+            # Carry the previous version's columns across the insert: a
+            # concat with the (small) delta's columns costs O(δ + n) array
+            # copying instead of re-inferring dtypes over the whole new row
+            # list next time a vectorized kernel touches this table.
+            updated.adopt_store(
+                carried.concat(self._delta_tail(carried, delta_rows, current))
+            )
         self._store(name, updated)
-        entries = self._indexes_on(name)
         if entries:
             if len(delta_rows) > INCREMENTAL_INDEX_FRACTION * max(1, len(current)):
                 self.rebuild_indexes(name)
@@ -225,6 +278,56 @@ class Database:
                     self.rebuild_indexes(name)
         return updated
 
+    @staticmethod
+    def _vector_delete_mask(store, delta_rows: Relation):
+        """Keep-mask for ``store − delta`` via columnar candidate narrowing.
+
+        Numeric columns cheaply narrow the rows that could possibly match a
+        delete (``isin`` membership per column); only those candidates are
+        gathered as tuples for the exact first-match multiset subtraction
+        that mirrors :func:`multiset_subtract`.  Returns ``True`` when no
+        row matched, a boolean keep array otherwise, or ``None`` when the
+        store has no usable numeric column (caller falls back to rows).
+        """
+        if _np is None or not isinstance(store, NumpyColumnStore):
+            return None
+        width = store.arity
+        target = len(delta_rows)
+        candidates = None
+        for position in range(width):
+            column = store.column(position)
+            if column.dtype.kind not in "if":
+                continue
+            probe = _np.asarray(delta_rows.column_at(position))
+            if probe.dtype.kind not in "if":
+                continue
+            hit = _np.isin(column, probe)
+            candidates = hit if candidates is None else candidates & hit
+            if int(candidates.sum()) <= 4 * target:
+                break
+        if candidates is None:
+            return None
+        positions = _np.flatnonzero(candidates)
+        if not len(positions):
+            return True
+        remaining = Counter(delta_rows.rows)
+        get = remaining.get
+        deleted: List[int] = []
+        matched = 0
+        rows = store.gather(positions).to_rows()
+        for position, row in zip(positions.tolist(), rows):
+            if get(row, 0) > 0:
+                remaining[row] -= 1
+                deleted.append(position)
+                matched += 1
+                if matched == target:
+                    break
+        if not deleted:
+            return True
+        keep = _np.ones(len(store), dtype=bool)
+        keep[_np.asarray(deleted, dtype=_np.int64)] = False
+        return keep
+
     def _apply_delete(self, name: str, current: Relation, delta_rows: Relation) -> Relation:
         """Remove a delete bag (one copy per match) and remap index positions."""
         if len(current.schema) != len(delta_rows.schema):
@@ -232,10 +335,22 @@ class Database:
                 f"incompatible schemas: {current.schema.names} vs {delta_rows.schema.names}"
             )
         entries = self._indexes_on(name)
+        carried = self._carry_store(name, current)
         if not entries:
-            # No indexes to remap: plain bag difference, no position tracking.
+            if carried is not None:
+                keep = self._vector_delete_mask(carried, delta_rows)
+                if keep is not None:
+                    survived = carried if keep is True else carried.mask(keep)
+                    updated = Relation.from_store(current.schema, survived, name)
+                    self._store(name, updated)
+                    return updated
+            # No indexes to remap and no columnar path: plain bag
+            # difference, no position tracking.
             kept = multiset_subtract(current.rows, delta_rows.rows)
             updated = Relation.from_trusted_rows(current.schema, kept, name)
+            if carried is not None:
+                if len(kept) == len(current):
+                    updated.adopt_store(carried)
             self._store(name, updated)
             return updated
         remaining = Counter(delta_rows.rows)
@@ -251,6 +366,12 @@ class Database:
                 old_to_new.append(len(kept))
                 append(row)
         updated = Relation.from_trusted_rows(current.schema, kept, name)
+        if carried is not None and len(kept) != len(current.rows):
+            # Same survivors, column form: mask the previous version's store
+            # with the positions the subtraction kept.
+            updated.adopt_store(carried.mask([p is not None for p in old_to_new]))
+        elif carried is not None:
+            updated.adopt_store(carried)
         self._store(name, updated)
         removed = len(current.rows) - len(kept)
         try:

@@ -421,11 +421,15 @@ class DifferentialEngine:
                 cache.new[key] = result
             return result
 
-        def build_for(role: str, expr: Expression, source: Relation, positions) -> Dict:
+        def build_for(role: str, expr: Expression, source: Relation, positions):
             key = (role, self._canonical(expr), tuple(positions))
             build = cache.builds.get(key)
             if build is None:
-                build = operators.hash_build(source, positions)
+                # Store-backed sources get the sorted-key probe table (no
+                # row materialization); everything else the dict build.
+                build = operators.vector_probe_build(source, positions)
+                if build is None:
+                    build = operators.hash_build(source, positions)
                 cache.builds[key] = build
             return build
 
@@ -585,15 +589,9 @@ class DifferentialEngine:
                 if not node.group_by:
                     return rel
                 positions = rel.schema.positions(node.group_by)
-                if len(positions) == 1:
-                    i = positions[0]
-                    keys = {k[0] for k in affected}
-                    kept = [r for r in rel.rows if r[i] in keys]
-                else:
-                    kept = [
-                        r for r in rel.rows if tuple(r[i] for i in positions) in affected
-                    ]
-                return Relation.from_trusted_rows(rel.schema, kept, rel.name)
+                # One np.isin pass over the key column when the input is
+                # column-store backed; row loop otherwise.
+                return operators.semijoin_keys(rel, positions, affected)
 
             # Old aggregate rows for the affected groups: read from the
             # stored view when this exact node is materialized, else

@@ -22,11 +22,28 @@ from repro.algebra.predicates import (
     Literal,
     Predicate,
     TruePredicate,
+    compile_mask,
     compile_predicate,
 )
 from repro.catalog.schema import Column, ColumnType, Schema, SchemaError
+from repro.storage import columns as _backend_columns
+from repro.storage.columns import numpy as _np
 from repro.storage.index import HashIndex, SortedIndex
 from repro.storage.relation import Relation, Row
+
+#: Minimum bag size before a vector kernel will *build* a column store for a
+#: row-backed input.  Below this, array conversion costs more than the row
+#: loop saves; inputs that already carry a numpy store vectorize regardless
+#: (store-to-store pipelines stay columnar end to end).
+VECTOR_MIN_ROWS = 64
+
+#: Minimum bag size before a *single-use* kernel (semijoin, aggregation,
+#: join) converts a row-backed input to typed arrays.  Scans amortize a
+#: build across every later kernel touching the same relation — the store
+#: is cached and the database update path carries it across deltas — but a
+#: one-shot group-by or key probe only recoups the per-cell inference cost
+#: on bags this large.
+VECTOR_BUILD_MIN_ROWS = 4096
 
 
 # ---------------------------------------------------------------- select / project
@@ -40,12 +57,19 @@ def select(relation: Relation, predicate: Predicate) -> Relation:
 def select_batch(relation: Relation, predicate: Predicate) -> Relation:
     """Batch σ_predicate over the columnar fast path.
 
-    Single column-vs-literal comparisons — the dominant selection shape in
-    the workloads — are evaluated directly against the column array; every
-    other predicate runs as one compiled closure over the row batch.  Output
-    bags are identical to :func:`select`.
+    With the numpy backend the predicate compiles to a whole-column mask
+    (:func:`~repro.algebra.predicates.compile_mask`) and selection is one
+    boolean gather over the store.  On the fallback path, single
+    column-vs-literal comparisons — the dominant selection shape in the
+    workloads — are evaluated directly against the column array; every
+    other predicate runs as one compiled closure over the row batch.
+    Output bags are identical to :func:`select`.
     """
     schema = relation.schema
+    store = relation.vector_store(VECTOR_MIN_ROWS)
+    if store is not None:
+        keep = compile_mask(predicate, schema)(store)
+        return Relation.from_store(schema, store.mask(keep), relation.name)
     rows = relation.rows
     if (
         isinstance(predicate, Comparison)
@@ -191,6 +215,121 @@ def nested_loop_join_batch(
     return Relation.from_trusted_rows(schema, _residual_filter(out, schema, residual))
 
 
+def _residual_mask_store(store, schema: Schema, residual: Optional[Predicate]):
+    """Apply a residual predicate to a numpy store (no-op for True/None)."""
+    if residual is None or isinstance(residual, TruePredicate):
+        return store
+    return store.mask(compile_mask(residual, schema)(store))
+
+
+def _vector_join_keys(left_store, left_pos, right_store, right_pos):
+    """Per-side key arrays for the vectorized equi-join, or ``None``.
+
+    Only typed numeric columns of the same kind on both sides qualify —
+    object columns can hold ``None`` (whose bucket semantics the dict path
+    preserves) and mixed int/float pairs would go through lossy float
+    conversion for 2^53+ ints.  Multi-column keys are fused into one int64
+    code per row by successive factorization.
+    """
+    left_keys = [left_store.column(i) for i in left_pos]
+    right_keys = [right_store.column(i) for i in right_pos]
+    for a, b in zip(left_keys, right_keys):
+        if a.dtype.kind not in "if" or b.dtype.kind not in "if" or a.dtype.kind != b.dtype.kind:
+            return None
+    if len(left_keys) == 1:
+        return left_keys[0], right_keys[0]
+    n_left = len(left_store)
+    lkey = _np.zeros(n_left, dtype=_np.int64)
+    rkey = _np.zeros(len(right_store), dtype=_np.int64)
+    capacity = 1
+    for a, b in zip(left_keys, right_keys):
+        uniques, codes = _np.unique(_np.concatenate((a, b)), return_inverse=True)
+        capacity *= max(len(uniques), 1)
+        if capacity > 2**62:
+            return None
+        lkey = lkey * len(uniques) + codes[:n_left]
+        rkey = rkey * len(uniques) + codes[n_left:]
+    return lkey, rkey
+
+
+def vectorizable_join(
+    left: Relation,
+    right: Relation,
+    left_pos: Sequence[int],
+    right_pos: Sequence[int],
+) -> bool:
+    """Cheap test that :func:`hash_join_batch` would try the column kernel.
+
+    Mirrors :func:`_vector_equi_join`'s coarse size/store gates without
+    building anything, so physical operators with their own row fallbacks
+    can decide whether delegating to the batch kernel is worthwhile.
+    """
+    if _np is None or not left_pos or not right_pos:
+        return False
+    if left.has_vector_store or right.has_vector_store:
+        return True
+    return min(len(left), len(right)) >= VECTOR_BUILD_MIN_ROWS
+
+
+def _vector_equi_join(
+    left: Relation,
+    right: Relation,
+    left_pos: Sequence[int],
+    right_pos: Sequence[int],
+    schema: Schema,
+    residual: Optional[Predicate],
+) -> Optional[Relation]:
+    """Whole-column equi-join, or ``None`` when the inputs do not qualify.
+
+    Sort-based matching over the key arrays: the right side is stably
+    sorted once, each left key finds its matching run by binary search, and
+    the output indices expand with ``repeat``/cumulative offsets.  Because
+    the sort is stable and left rows emit in order, the output ordering is
+    *exactly* that of :func:`hash_join` (left order outer, original right
+    order within a key) — not just the same bag.
+    """
+    if _np is None:
+        return None
+    if (
+        max(len(left), len(right)) < VECTOR_MIN_ROWS
+        and not left.has_vector_store
+        and not right.has_vector_store
+    ):
+        return None
+    # A side with a cached store vectorizes for free; once one side is
+    # columnar the other converts even when small (delta bags probing a
+    # stored table).  Two row-backed sides must both be large enough to
+    # amortize a single-use conversion, else the dict join wins.
+    if left.has_vector_store or right.has_vector_store:
+        build_min = 0
+    else:
+        build_min = VECTOR_BUILD_MIN_ROWS
+    left_store = left.vector_store(build_min)
+    right_store = right.vector_store(build_min)
+    if left_store is None or right_store is None:
+        return None
+    keys = _vector_join_keys(left_store, left_pos, right_store, right_pos)
+    if keys is None:
+        return None
+    lkey, rkey = keys
+    order = _np.argsort(rkey, kind="stable")
+    sorted_rkey = rkey[order]
+    starts = _np.searchsorted(sorted_rkey, lkey, side="left")
+    ends = _np.searchsorted(sorted_rkey, lkey, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    left_idx = _np.repeat(_np.arange(len(lkey)), counts)
+    if total:
+        offsets = _np.cumsum(counts) - counts
+        positions = _np.arange(total) - _np.repeat(offsets, counts) + _np.repeat(starts, counts)
+        right_idx = order[positions]
+    else:
+        right_idx = _np.zeros(0, dtype=_np.int64)
+    out = left_store.gather(left_idx).hstack(right_store.gather(right_idx))
+    out = _residual_mask_store(out, schema, residual)
+    return Relation.from_store(schema, out)
+
+
 def hash_join_batch(
     left: Relation,
     right: Relation,
@@ -199,15 +338,20 @@ def hash_join_batch(
 ) -> Relation:
     """Vectorized hash join producing the same bag as :func:`hash_join`.
 
-    Build and probe run over column arrays: single-condition joins (the
-    common case for foreign-key joins) key the hash table on the raw column
-    value — no per-row key-tuple construction — and the probe emits matches
-    through one flat list comprehension.
+    With the numpy backend, qualifying joins (typed numeric keys) run as
+    one whole-column sort/search/gather pass — see :func:`_vector_equi_join`.
+    Otherwise build and probe run over column arrays: single-condition
+    joins (the common case for foreign-key joins) key the hash table on the
+    raw column value — no per-row key-tuple construction — and the probe
+    emits matches through one flat list comprehension.
     """
     if not conditions:
         return nested_loop_join(left, right, conditions, residual)
     schema = _output(left, right)
     left_pos, right_pos = _join_positions(left.schema, right.schema, conditions)
+    joined = _vector_equi_join(left, right, left_pos, right_pos, schema, residual)
+    if joined is not None:
+        return joined
     lrows = left.rows
     rrows = right.rows
     buckets: Dict[Any, List[Row]] = {}
@@ -249,7 +393,13 @@ def hash_build(relation: Relation, positions: Sequence[int]) -> Dict[Any, List[R
     """
     buckets: Dict[Any, List[Row]] = {}
     setdefault = buckets.setdefault
-    if len(positions) == 1:
+    if len(positions) == 1 and relation.cached_store() is not None:
+        # Key off the flat column array: for store-backed inputs the key
+        # column decodes in one C-level pass instead of indexing into every
+        # materialized row tuple.
+        for key, row in zip(relation.column_at(positions[0]), relation.rows):
+            setdefault(key, []).append(row)
+    elif len(positions) == 1:
         i = positions[0]
         for row in relation.rows:
             setdefault(row[i], []).append(row)
@@ -257,6 +407,86 @@ def hash_build(relation: Relation, positions: Sequence[int]) -> Dict[Any, List[R
         for row in relation.rows:
             setdefault(tuple(row[i] for i in positions), []).append(row)
     return buckets
+
+
+class VectorProbeBuild:
+    """Sorted-key probe table over a store-backed join input.
+
+    The columnar analogue of :func:`hash_build`: the non-delta input's key
+    column is stably argsorted once, and each delta bag finds its matching
+    runs by binary search — no row materialization of the (large) stored
+    side at all.  Shareable across both delta bags, across views, and
+    across a whole refresh round exactly like the dict build.
+    """
+
+    __slots__ = ("store", "key", "order", "sorted_key", "positions")
+
+    def __init__(self, store, key, positions) -> None:
+        self.store = store
+        self.key = key
+        self.positions = tuple(positions)
+        self.order = _np.argsort(key, kind="stable")
+        self.sorted_key = key[self.order]
+
+
+def vector_probe_build(
+    relation: Relation, positions: Sequence[int]
+) -> Optional[VectorProbeBuild]:
+    """A :class:`VectorProbeBuild` over ``relation``, or ``None``.
+
+    Requires an already-cached numpy store (the whole point is skipping row
+    materialization), a single join column, and a typed numeric key —
+    object keys carry ``None`` whose bucket semantics belong to the dict
+    path.
+    """
+    if _np is None or len(positions) != 1 or not relation.has_vector_store:
+        return None
+    store = relation.vector_store()
+    key = store.column(positions[0])
+    if key.dtype.kind not in "if":
+        return None
+    return VectorProbeBuild(store, key, positions)
+
+
+def _vector_delta_probe(
+    bag: Relation,
+    delta_pos: Sequence[int],
+    vbuild: VectorProbeBuild,
+    schema: Schema,
+    residual: Optional[Predicate],
+    delta_side: str,
+) -> Optional[Relation]:
+    """Join one delta bag against a :class:`VectorProbeBuild`, or ``None``.
+
+    Output rows are delta-major (the bag's order outer, the stored input's
+    original order within a key) with columns in left ++ right order per
+    ``delta_side`` — exactly the dict probe's emission.
+    """
+    if len(bag) == 0:
+        return Relation(schema, [])
+    bag_store = bag.vector_store(0)
+    if bag_store is None:
+        return None
+    dkey = bag_store.column(delta_pos[0])
+    if dkey.dtype.kind != vbuild.key.dtype.kind:
+        return None
+    starts = _np.searchsorted(vbuild.sorted_key, dkey, side="left")
+    ends = _np.searchsorted(vbuild.sorted_key, dkey, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    delta_idx = _np.repeat(_np.arange(len(dkey)), counts)
+    if total:
+        offsets = _np.cumsum(counts) - counts
+        positions = _np.arange(total) - _np.repeat(offsets, counts) + _np.repeat(starts, counts)
+        other_idx = vbuild.order[positions]
+    else:
+        other_idx = _np.zeros(0, dtype=_np.int64)
+    if delta_side == "left":
+        out = bag_store.gather(delta_idx).hstack(vbuild.store.gather(other_idx))
+    else:
+        out = vbuild.store.gather(other_idx).hstack(bag_store.gather(delta_idx))
+    out = _residual_mask_store(out, schema, residual)
+    return Relation.from_store(schema, out)
 
 
 def delta_select_batch(
@@ -298,7 +528,7 @@ def delta_hash_join_batch(
     conditions: Sequence[Tuple[str, str]] = (),
     residual: Optional[Predicate] = None,
     delta_side: str = "left",
-    build: Optional[Dict[Any, List[Row]]] = None,
+    build: Optional[object] = None,
 ) -> Tuple[Relation, Relation]:
     """δ-⋈: join both bags of a differential against one shared input.
 
@@ -308,8 +538,9 @@ def delta_hash_join_batch(
     over ``other`` — the non-delta input — so it is constructed once per
     call regardless of which side the delta is on (plain ``hash_join`` would
     build over ``other`` twice for a left-side delta, and probe it twice
-    for a right-side one).  A caller that already holds a bucket table for
-    ``other`` keyed on the join columns can pass it as ``build``.
+    for a right-side one).  A caller that already holds a build for
+    ``other`` keyed on the join columns — a :func:`hash_build` dict or a
+    :class:`VectorProbeBuild` — can pass it as ``build``.
     """
     delta_schema = inserts.schema
     if delta_side == "left":
@@ -330,6 +561,21 @@ def delta_hash_join_batch(
             return Relation.from_trusted_rows(schema, _residual_filter(rows, schema, residual))
 
         return cross(inserts), cross(deletes)
+
+    vbuild: Optional[VectorProbeBuild] = None
+    if isinstance(build, VectorProbeBuild):
+        vbuild, build = build, None
+    elif build is None and len(delta_pos) == 1:
+        vbuild = vector_probe_build(other, other_pos)
+    if vbuild is not None:
+        vector_ins = _vector_delta_probe(
+            inserts, delta_pos, vbuild, schema, residual, delta_side
+        )
+        vector_dels = _vector_delta_probe(
+            deletes, delta_pos, vbuild, schema, residual, delta_side
+        )
+        if vector_ins is not None and vector_dels is not None:
+            return vector_ins, vector_dels
 
     if build is None:
         build = hash_build(other, other_pos)
@@ -373,6 +619,23 @@ def _null_safe_key(values: Tuple[Any, ...]) -> Tuple[Tuple[bool, Any], ...]:
     return tuple((True, 0) if v is None else (False, v) for v in values)
 
 
+def _decorated_sorted(relation: Relation, positions: Sequence[int]) -> List[Tuple[Any, Row]]:
+    """``(null_safe_key, row)`` pairs sorted by key, built column-at-a-time.
+
+    Builds each ordering key in a single tuple construction from the
+    pre-extracted key columns — the old path built an intermediate value
+    tuple per row (``tuple(r[i] for i in positions)``) only to rebuild it
+    decorated, which showed up in refresh profiles.
+    """
+    key_columns = [relation.column_at(i) for i in positions]
+    decorated = [
+        (tuple((v is None, 0 if v is None else v) for v in values), row)
+        for values, row in zip(zip(*key_columns), relation.rows)
+    ]
+    decorated.sort(key=itemgetter(0))
+    return decorated
+
+
 def merge_join(
     left: Relation,
     right: Relation,
@@ -386,14 +649,8 @@ def merge_join(
     left_pos, right_pos = _join_positions(left.schema, right.schema, conditions)
     # Decorate once: each side's ordering keys are computed a single time,
     # then the merge works over the precomputed key arrays.
-    ldec = sorted(
-        ((_null_safe_key(tuple(r[i] for i in left_pos)), r) for r in left.rows),
-        key=lambda kr: kr[0],
-    )
-    rdec = sorted(
-        ((_null_safe_key(tuple(r[i] for i in right_pos)), r) for r in right.rows),
-        key=lambda kr: kr[0],
-    )
+    ldec = _decorated_sorted(left, left_pos)
+    rdec = _decorated_sorted(right, right_pos)
     out: List[Row] = []
     i = j = 0
     while i < len(ldec) and j < len(rdec):
@@ -463,6 +720,41 @@ def distinct(relation: Relation) -> Relation:
     return relation.distinct()
 
 
+def semijoin_keys(
+    relation: Relation, positions: Sequence[int], keys: "set"
+) -> Relation:
+    """Rows whose key tuple over ``positions`` is in ``keys`` (a set of tuples).
+
+    The restrict kernel of differential aggregate maintenance: a big stored
+    input is filtered down to the affected group keys.  Single typed key
+    columns run as one ``np.isin`` pass over the column array; everything
+    else (multi-column keys, ``None`` keys, type-mixed probes) keeps the
+    row loop, whose set-membership semantics are the reference.
+
+    The vector path engages only on an already-cached store: a semijoin is
+    one pass, so building typed arrays just for it costs more than the row
+    loop it would replace.
+    """
+    if _np is not None and len(positions) == 1 and relation.has_vector_store:
+        store = relation.vector_store()
+        if store is not None:
+            array = store.column(positions[0])
+            if array.dtype != object and keys:
+                probe = _np.asarray([k[0] for k in keys])
+                if probe.dtype.kind == array.dtype.kind:
+                    keep = _np.isin(array, probe)
+                    return Relation.from_store(
+                        relation.schema, store.mask(keep), relation.name
+                    )
+    if len(positions) == 1:
+        i = positions[0]
+        scalar_keys = {k[0] for k in keys}
+        kept = [r for r in relation.rows if r[i] in scalar_keys]
+    else:
+        kept = [r for r in relation.rows if tuple(r[i] for i in positions) in keys]
+    return Relation.from_trusted_rows(relation.schema, kept, relation.name)
+
+
 # ----------------------------------------------------------------- aggregation
 
 def _aggregate_schema(
@@ -499,9 +791,14 @@ def _stable_sum(values: List[Any]):
     correctly rounded float sum regardless of order, so the two strategies
     produce bit-identical aggregate values (integer inputs keep integer sums).
     """
-    if all(isinstance(v, int) and not isinstance(v, bool) for v in values):
-        return sum(values)
-    return math.fsum(values)
+    # Single pass, no per-value isinstance pair: ``type(v) is int`` is both
+    # the exact-int test (bools fail it) and cheaper than two isinstance
+    # calls — this helper runs once per group per aggregate on the refresh
+    # hot path.
+    for v in values:
+        if type(v) is not int:
+            return math.fsum(values)
+    return sum(values)
 
 
 def aggregate(
@@ -536,6 +833,125 @@ def aggregate(
     return Relation(out_schema, out)
 
 
+def _vector_aggregate(
+    relation: Relation,
+    group_pos: Sequence[int],
+    agg_pos: Sequence[Optional[int]],
+    aggregates: Sequence[AggregateSpec],
+    out_schema: Schema,
+) -> Optional[Relation]:
+    """Whole-column group-by/reduce, or ``None`` when inputs do not qualify.
+
+    Group keys factorize to dense int64 codes (multi-column keys fuse by
+    successive code combination); one stable sort of the codes turns every
+    group into a contiguous segment, and each aggregate reduces segment-at-
+    a-time: ``bincount``-style counts, ``reduceat`` for int SUM / MIN / MAX,
+    and per-segment ``math.fsum`` for float SUM/AVG so results stay
+    bit-identical to the row oracle's order-independent sums.  Output groups
+    are reordered to first-occurrence order, matching the oracle's
+    insertion-order group emission exactly.
+
+    Falls back (returns ``None``) for empty inputs (scalar-aggregate
+    semantics live on the row path), object-dtype aggregate columns (the
+    ``None``-skipping rule needs per-value checks), and group columns numpy
+    cannot factorize (e.g. ``None`` mixed with values).
+    """
+    if _np is None or len(relation) == 0:
+        return None
+    store = relation.vector_store()
+    if store is not None:
+        column = store.column
+    elif len(relation) >= VECTOR_BUILD_MIN_ROWS and _backend_columns.numpy_enabled():
+        # Row-backed but large: convert only the group/aggregate columns
+        # this node touches instead of building the whole store.
+        def column(pos, _cache={}):
+            array = _cache.get(pos)
+            if array is None:
+                array = _backend_columns._typed_array(relation.column_at(pos))
+                _cache[pos] = array
+            return array
+    else:
+        return None
+    value_arrays: List[Any] = []
+    for pos in agg_pos:
+        if pos is None:
+            value_arrays.append(None)
+            continue
+        array = column(pos)
+        if array.dtype == object:
+            return None
+        value_arrays.append(array)
+
+    n = len(relation)
+    codes = _np.zeros(n, dtype=_np.int64)
+    group_arrays = []
+    capacity = 1
+    for pos in group_pos:
+        array = column(pos)
+        try:
+            uniques, inverse = _np.unique(array, return_inverse=True)
+        except TypeError:
+            return None
+        capacity *= max(len(uniques), 1)
+        if capacity > 2**62:
+            return None
+        codes = codes * len(uniques) + inverse
+        group_arrays.append(array)
+
+    order = _np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    boundary = _np.empty(n, dtype=bool)
+    boundary[0] = True
+    _np.not_equal(sorted_codes[1:], sorted_codes[:-1], out=boundary[1:])
+    segment_starts = _np.flatnonzero(boundary)
+    counts = _np.diff(_np.append(segment_starts, n))
+    # First-occurrence row of each group: the stable sort keeps original
+    # order within a segment, and argsort over those rows recovers the
+    # oracle's insertion-order group emission.
+    first_rows = order[segment_starts]
+    emit = _np.argsort(first_rows, kind="stable")
+
+    out_arrays = [array[first_rows[emit]] for array in group_arrays]
+    counts_list = None
+    for spec, values in zip(aggregates, value_arrays):
+        if spec.func is AggregateFunc.COUNT:
+            out_arrays.append(counts[emit])
+            continue
+        sorted_values = values[order]
+        if spec.func is AggregateFunc.MIN:
+            out_arrays.append(_np.minimum.reduceat(sorted_values, segment_starts)[emit])
+            continue
+        if spec.func is AggregateFunc.MAX:
+            out_arrays.append(_np.maximum.reduceat(sorted_values, segment_starts)[emit])
+            continue
+        # SUM / AVG.  Ints reduce exactly in int64 (the workloads stay far
+        # from 2^63); floats go through per-segment fsum to match the
+        # oracle's correctly rounded order-independent sums bit for bit.
+        if sorted_values.dtype.kind == "i":
+            sums: Any = _np.add.reduceat(sorted_values, segment_starts)
+            if spec.func is AggregateFunc.SUM:
+                out_arrays.append(sums[emit])
+                continue
+            if counts_list is None:
+                counts_list = counts.tolist()
+            averages = [s / c for s, c in zip(sums.tolist(), counts_list)]
+            out_arrays.append(_np.asarray(averages, dtype=_np.float64)[emit])
+        else:
+            flat = sorted_values.tolist()
+            bounds = segment_starts.tolist() + [n]
+            sums = [math.fsum(flat[lo:hi]) for lo, hi in zip(bounds, bounds[1:])]
+            if spec.func is AggregateFunc.AVG:
+                if counts_list is None:
+                    counts_list = counts.tolist()
+                sums = [s / c for s, c in zip(sums, counts_list)]
+            out_arrays.append(_np.asarray(sums, dtype=_np.float64)[emit])
+
+    from repro.storage.columns import NumpyColumnStore
+
+    out_store = NumpyColumnStore(tuple(out_arrays), len(segment_starts))
+    return Relation.from_store(out_schema, out_store)
+
+
 def aggregate_batch(
     relation: Relation,
     group_by: Sequence[str],
@@ -543,16 +959,21 @@ def aggregate_batch(
 ) -> Relation:
     """Vectorized hash aggregation, bag-identical to :func:`aggregate`.
 
-    Grouping runs over the group-by column array (scalar dictionary keys for
-    single-column group-bys), and each aggregate is then computed column-at-
-    a-time from the grouped row indices.  The same accumulation helpers as
-    the row-at-a-time path (:func:`_compute_aggregate`, order-independent
-    sums) guarantee bit-identical aggregate values.
+    With the numpy backend, qualifying inputs group-reduce over factorized
+    key codes (:func:`_vector_aggregate`).  Otherwise grouping runs over the
+    group-by column array (scalar dictionary keys for single-column
+    group-bys), and each aggregate is then computed column-at-a-time from
+    the grouped row indices.  The same accumulation helpers as the
+    row-at-a-time path (:func:`_compute_aggregate`, order-independent sums)
+    guarantee bit-identical aggregate values.
     """
     schema = relation.schema
     group_pos = schema.positions(group_by)
     agg_pos = [schema.index_of(a.column) if a.column else None for a in aggregates]
     out_schema = _aggregate_schema(schema, group_by, aggregates)
+    result = _vector_aggregate(relation, group_pos, agg_pos, aggregates, out_schema)
+    if result is not None:
+        return result
     rows = relation.rows
 
     # Group row indices by key, column-at-a-time.

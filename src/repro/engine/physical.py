@@ -382,6 +382,13 @@ class IndexNestedLoopJoin(PhysicalOperator):
                     for orow in orows
                     for irow in lookup(tuple(orow[i] for i in outer_pos))
                 ]
+        elif operators.vectorizable_join(left, right, left_pos, right_pos):
+            # No materialized index worth probing, but the inputs qualify for
+            # the whole-column join kernel — same bag, columnar output, and
+            # downstream operators keep the store instead of re-deriving it.
+            return operators.hash_join_batch(
+                left, right, self.conditions, self.residual
+            )
         else:
             # No materialized index worth probing: build the bucket table the
             # optimizer assumed, keyed directly on the join columns.
@@ -556,6 +563,10 @@ def _conform(relation: Relation, expected: Schema) -> Relation:
                 )
             positions.append(slots[k])
             taken[name] = k + 1
+    store = relation.cached_store()
+    if store is not None:
+        # Column stores reorder by reference — no per-row gather at all.
+        return Relation.from_store(expected, store.take(positions), relation.name)
     if len(positions) == 1:
         i = positions[0]
         rows = [(row[i],) for row in relation.rows]

@@ -217,24 +217,27 @@ def coalesce_delta(earlier: Delta, later: Delta) -> CoalesceOutcome:
             f"cannot coalesce deltas of different relations "
             f"{earlier.relation!r} and {later.relation!r}"
         )
-    pending_inserts = Counter(earlier.inserts.rows)
+    # Stream both deltas through iter_rows: store-backed bags (vectorized
+    # operator outputs) coalesce without ever caching a row-list copy.
+    pending_inserts = Counter(earlier.inserts.iter_rows())
     # d₂ splits into the part that cancels pending inserts and the rest.
     cancelled: Counter = Counter()
     surviving_deletes: List[Tuple] = []
-    for row in later.deletes.rows:
+    for row in later.deletes.iter_rows():
         if pending_inserts[row] - cancelled[row] > 0:
             cancelled[row] += 1
         else:
             surviving_deletes.append(row)
     # i₁ minus the cancelled copies, then i₂ appended.
-    kept_inserts = multiset_subtract(earlier.inserts.rows, cancelled.elements())
-    kept_inserts.extend(later.inserts.rows)
+    kept_inserts = multiset_subtract(earlier.inserts.iter_rows(), cancelled.elements())
+    kept_inserts.extend(later.inserts.iter_rows())
 
     schema = earlier.inserts.schema
     inserts = Relation.from_trusted_rows(schema, kept_inserts, earlier.inserts.name)
+    surviving_deletes[:0] = earlier.deletes.iter_rows()
     deletes = Relation.from_trusted_rows(
         earlier.deletes.schema,
-        earlier.deletes.rows + surviving_deletes,
+        surviving_deletes,
         earlier.deletes.name,
     )
     annihilated = sum(cancelled.values())
@@ -279,7 +282,7 @@ def merge_round(merged: DeltaStore, deltas: Iterable[Delta]) -> int:
             # Nothing can cancel: append in place to the owned bags instead
             # of re-scanning everything pending — this keeps insert-heavy
             # sessions O(arrived rows) per tick rather than O(pending).
-            pending.inserts.extend(delta.inserts.rows)
+            pending.inserts.extend(delta.inserts.iter_rows())
             continue
         outcome = coalesce_delta(pending, delta)
         annihilated += outcome.annihilated

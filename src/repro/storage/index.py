@@ -17,6 +17,16 @@ from repro.storage.relation import Relation, Row
 Key = Tuple[Any, ...]
 
 
+def _column_keys(relation: Relation, positions: Sequence[int]) -> Iterator[Key]:
+    """Key tuples over ``positions``, built column-at-a-time.
+
+    One pass over the pre-extracted key columns instead of indexing into
+    every row tuple — and for store-backed relations it never materializes
+    the row list at all.
+    """
+    return zip(*(relation.column_at(i) for i in positions))
+
+
 class HashIndex:
     """Equality index mapping key tuples to lists of row positions."""
 
@@ -27,8 +37,8 @@ class HashIndex:
         self._positions = relation.schema.positions(columns)
         self._relation = relation
         self._buckets: Dict[Key, List[int]] = {}
-        for pos, row in enumerate(relation.rows):
-            self._buckets.setdefault(self._key(row), []).append(pos)
+        for pos, key in enumerate(_column_keys(relation, self._positions)):
+            self._buckets.setdefault(key, []).append(pos)
 
     def _key(self, row: Row) -> Key:
         return tuple(row[i] for i in self._positions)
@@ -107,7 +117,7 @@ class SortedIndex:
         self._positions = relation.schema.positions(columns)
         self._relation = relation
         entries = sorted(
-            ((self._key(row), pos) for pos, row in enumerate(relation.rows)),
+            ((key, pos) for pos, key in enumerate(_column_keys(relation, self._positions))),
             key=lambda kp: kp[0],
         )
         self._keys: List[Key] = [k for k, _ in entries]

@@ -5,6 +5,14 @@ duplicate tuples, unions keep duplicates, and differences remove one matching
 copy per deleted tuple.  :class:`Relation` implements exactly those
 semantics, which the differential-maintenance tests rely on to check that
 incremental refresh produces the same bag as recomputation.
+
+Storage is dual-representation.  A relation is authoritative either as a
+list of Python row tuples (how user code and the interpreted oracle build
+bags) or as a backend column store (how the vectorized operators hand
+results to each other — see ``repro.storage.columns``); whichever side is
+missing is derived lazily and cached.  Mutation always goes through
+:meth:`_invalidate`, which drops every derived columnar view, so a cached
+column read can never go stale.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from operator import itemgetter as _itemgetter
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.catalog.schema import Column, ColumnType, Schema
+from repro.storage import columns as _backends
 
 Row = Tuple[Any, ...]
 
@@ -63,17 +72,25 @@ class Relation:
     """A named bag of tuples with a schema.
 
     Tuples are plain Python tuples whose positions correspond to the schema's
-    columns.  The bag is stored as a list, preserving insertion order (useful
-    for deterministic tests) while all comparison helpers use counted
-    multiset semantics.
+    columns.  The bag preserves insertion order (useful for deterministic
+    tests) while all comparison helpers use counted multiset semantics.
+
+    Internally the bag lives either as the row list ``_rows`` or as a
+    column store ``_store`` (at least one is always present); the other
+    representation is derived on first use and cached.  Row tuples exposed
+    through :attr:`rows`/:meth:`iter_rows` always carry native Python
+    values, whichever backend produced them.
     """
 
     def __init__(self, schema: Schema, rows: Optional[Iterable[Row]] = None, name: str = "") -> None:
         self.schema = schema
         self.name = name
-        self._rows: List[Row] = [tuple(r) for r in rows] if rows is not None else []
-        #: Lazily built column arrays (the columnar fast path); invalidated
-        #: whenever the bag is mutated through :meth:`add`/:meth:`extend`.
+        self._rows: Optional[List[Row]] = [tuple(r) for r in rows] if rows is not None else []
+        #: Backend column store (``repro.storage.columns``), the columnar
+        #: authority when ``_rows`` is None; else a cached derivation.
+        self._store = None
+        #: Lazily built native column tuples (the columnar read path);
+        #: invalidated whenever the bag is mutated.
         self._columns: Optional[Tuple[Tuple[Any, ...], ...]] = None
         #: Per-position column cache for single-column reads, so narrow
         #: accesses to wide relations do not materialize every column.
@@ -113,6 +130,23 @@ class Relation:
         relation.schema = schema
         relation.name = name
         relation._rows = rows
+        relation._store = None
+        relation._columns = None
+        relation._column_cache = {}
+        return relation
+
+    @staticmethod
+    def from_store(schema: Schema, store, name: str = "") -> "Relation":
+        """Wrap a backend column store; rows are derived lazily on demand.
+
+        The store must not be mutated after being handed over (stores are
+        immutable by convention — see ``repro.storage.columns``).
+        """
+        relation = Relation.__new__(Relation)
+        relation.schema = schema
+        relation.name = name
+        relation._rows = None
+        relation._store = store
         relation._columns = None
         relation._column_cache = {}
         return relation
@@ -121,7 +155,7 @@ class Relation:
     def from_columns(
         schema: Schema, columns: Sequence[Sequence[Any]], name: str = ""
     ) -> "Relation":
-        """Build a relation from parallel column arrays."""
+        """Build a relation from parallel column arrays (active backend)."""
         if len(columns) != len(schema):
             raise ValueError(
                 f"{len(columns)} column arrays do not match schema arity {len(schema)}"
@@ -129,42 +163,126 @@ class Relation:
         lengths = {len(column) for column in columns}
         if len(lengths) > 1:
             raise ValueError(f"column arrays have unequal lengths {sorted(lengths)}")
-        return Relation(schema, zip(*columns) if columns else [], name)
+        store = _backends.active_backend().from_columns(columns, len(schema))
+        return Relation.from_store(schema, store, name)
 
     # -------------------------------------------------------------- basic bag
 
     def __len__(self) -> int:
-        return len(self._rows)
+        if self._rows is not None:
+            return len(self._rows)
+        return len(self._store)
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._rows)
+        return iter(self.rows)
 
     def __bool__(self) -> bool:
-        return bool(self._rows)
+        return len(self) > 0
 
     @property
     def rows(self) -> List[Row]:
-        """The underlying list of tuples (do not mutate directly)."""
+        """The row-tuple list (do not mutate directly).
+
+        Materialized from the column store on first access for store-backed
+        relations; native Python values throughout.
+        """
+        if self._rows is None:
+            self._rows = self._store.to_rows()
         return self._rows
+
+    def iter_rows(self) -> Iterator[Row]:
+        """Iterate row tuples without forcing the row-list cache.
+
+        Store-backed relations stream straight out of the columns — the lazy
+        row view the interpreted oracle and delta coalescing use when one
+        pass is all they need.
+        """
+        if self._rows is not None:
+            return iter(self._rows)
+        return self._store.iter_rows()
 
     # ---------------------------------------------------------- columnar access
 
-    def columns(self) -> Tuple[Tuple[Any, ...], ...]:
-        """Column arrays, one tuple of values per schema column.
+    def _invalidate(self) -> None:
+        """Drop every derived columnar view after a mutation.
 
-        Built lazily from the row storage and cached until the bag is
-        mutated; hot operators (selection, join build/probe, aggregation)
-        read single columns as flat arrays instead of indexing every row.
+        The single chokepoint all mutation goes through: forgetting one of
+        these caches means a stale column served after an ``add``.
+        """
+        self._store = None
+        self._columns = None
+        self._column_cache.clear()
+
+    def column_store(self):
+        """The backend column store, building one (active backend) if needed."""
+        if self._store is None:
+            self._store = _backends.active_backend().from_rows(self.rows, len(self.schema))
+        return self._store
+
+    def cached_store(self):
+        """The column store if one is already built, else ``None`` (no work)."""
+        return self._store
+
+    def vector_store(self, min_rows: int = 0):
+        """The numpy column store for the vectorized kernels, or ``None``.
+
+        Returns ``None`` when the active backend is not numpy (fallback
+        environment, or forced via ``REPRO_BACKEND=python``) so callers
+        drop to their row paths.  An already-cached numpy store is returned
+        regardless of size; building a fresh one requires at least
+        ``min_rows`` rows, since array conversion costs more than it saves
+        on tiny bags.
+        """
+        store = self._store
+        if store is not None:
+            return store if store.kind == "numpy" else None
+        if not _backends.numpy_enabled():
+            return None
+        if len(self._rows) < min_rows:
+            return None
+        self._store = _backends.active_backend().from_rows(self._rows, len(self.schema))
+        return self._store
+
+    @property
+    def has_vector_store(self) -> bool:
+        """Whether a numpy store is already cached (no conversion cost)."""
+        return self._store is not None and self._store.kind == "numpy"
+
+    def adopt_store(self, store) -> None:
+        """Attach a pre-built column store the caller derived columnar-ly.
+
+        The store must hold exactly this relation's rows in order — used by
+        the database's update path to carry a table's columns across an
+        insert/delete (concat or mask of the previous version's store)
+        instead of re-inferring dtypes from the new row list.
+        """
+        if len(store) != len(self):
+            raise ValueError(
+                f"store length {len(store)} does not match relation length {len(self)}"
+            )
+        self._store = store
+
+    def columns(self) -> Tuple[Tuple[Any, ...], ...]:
+        """Column arrays, one tuple of native values per schema column.
+
+        Built lazily from whichever representation is authoritative and
+        cached until the bag is mutated; hot operators (selection, join
+        build/probe, aggregation) read single columns as flat arrays instead
+        of indexing every row.
         """
         if self._columns is None:
-            if self._rows:
+            if self._rows is None:
+                self._columns = tuple(
+                    self._store.column_native(i) for i in range(len(self.schema))
+                )
+            elif self._rows:
                 self._columns = tuple(zip(*self._rows))
             else:
                 self._columns = tuple(() for _ in self.schema)
         return self._columns
 
     def column_at(self, position: int) -> Tuple[Any, ...]:
-        """One column (by position) as a flat array.
+        """One column (by position) as a flat array of native values.
 
         Extracts only the requested column — wide intermediate results do
         not pay for materializing every column the way :meth:`columns` does.
@@ -175,7 +293,10 @@ class Relation:
         if cached is None:
             if position >= len(self.schema):
                 raise IndexError(f"column position {position} out of range")
-            cached = tuple([row[position] for row in self._rows])
+            if self._rows is None:
+                cached = self._store.column_native(position)
+            else:
+                cached = tuple([row[position] for row in self._rows])
             self._column_cache[position] = cached
         return cached
 
@@ -185,55 +306,111 @@ class Relation:
 
     def counter(self) -> Counter:
         """Counted multiset view of the bag."""
-        return Counter(self._rows)
+        return Counter(self.iter_rows())
 
     def sample(self, k: int, seed: int = 8191) -> List[Row]:
         """A deterministic uniform sample of up to ``k`` rows.
 
         Used by statistics measurement (:meth:`TableStats.from_relation`) so
         distinct counts and histograms never require a full per-column scan
-        of a large relation.
+        of a large relation.  The bag is random-access, so sampling draws
+        ``k`` positions directly — O(k) work instead of a full reservoir
+        pass, and store-backed relations gather without materializing rows.
         """
-        if k >= len(self._rows):
-            return list(self._rows)
-        return reservoir_sample(self._rows, k, random.Random(seed))
+        if k >= len(self):
+            return list(self.rows)
+        positions = sorted(random.Random(seed).sample(range(len(self)), k))
+        if self._rows is None:
+            return self._store.gather(positions).to_rows()
+        rows = self._rows
+        return [rows[i] for i in positions]
 
     def copy(self, name: str = "") -> "Relation":
         """A shallow copy of the relation."""
-        return Relation(self.schema, list(self._rows), name or self.name)
+        if self._rows is None:
+            return Relation.from_store(self.schema, self._store, name or self.name)
+        return Relation.from_trusted_rows(self.schema, list(self._rows), name or self.name)
 
     def add(self, row: Row) -> None:
         """Append one tuple."""
         row = tuple(row)
         if len(row) != len(self.schema):
             raise ValueError(f"row {row!r} does not match schema arity {len(self.schema)}")
-        self._rows.append(row)
-        self._columns = None
-        self._column_cache.clear()
+        self.rows.append(row)
+        self._invalidate()
 
     def extend(self, rows: Iterable[Row]) -> None:
         """Append many tuples."""
+        target = self.rows
+        arity = len(self.schema)
         for row in rows:
-            self.add(row)
+            row = tuple(row)
+            if len(row) != arity:
+                raise ValueError(f"row {row!r} does not match schema arity {arity}")
+            target.append(row)
+        self._invalidate()
 
     # --------------------------------------------------------- bag operations
 
     def union_all(self, other: "Relation") -> "Relation":
         """Multiset union: concatenation of the two bags."""
         self._check_compatible(other)
-        return Relation(self.schema, self._rows + other._rows, self.name)
+        if (
+            self._store is not None
+            and other._store is not None
+            and self._store.kind == other._store.kind
+        ):
+            # Store-to-store concat: no row materialization on either side.
+            return Relation.from_store(
+                self.schema, self._store.concat(other._store), self.name
+            )
+        if self._store is not None and len(other) <= len(self):
+            # State ∪ delta: convert only the (smaller) row side so the
+            # columnar state survives the merge without materializing the
+            # stored side's rows.
+            tail = type(self._store).from_rows(other.rows, len(self.schema))
+            return Relation.from_store(
+                self.schema, self._store.concat(tail), self.name
+            )
+        if other._store is not None and len(self) <= len(other):
+            head = type(other._store).from_rows(self.rows, len(self.schema))
+            return Relation.from_store(
+                self.schema, head.concat(other._store), self.name
+            )
+        return Relation.from_trusted_rows(self.schema, self.rows + other.rows, self.name)
 
     def difference(self, other: "Relation") -> "Relation":
-        """Multiset difference: remove one copy per matching tuple in ``other``."""
+        """Multiset difference: remove one copy per matching tuple in ``other``.
+
+        When this side already carries a column store, the survivors' store
+        is derived by masking it — the result stays columnar without a
+        dtype re-inference pass.
+        """
         self._check_compatible(other)
-        remaining = Counter(other._rows)
+        remaining = Counter(other.iter_rows())
+        carried = self._store
         result: List[Row] = []
-        for row in self._rows:
+        if carried is None:
+            for row in self.iter_rows():
+                if remaining.get(row, 0) > 0:
+                    remaining[row] -= 1
+                else:
+                    result.append(row)
+            return Relation.from_trusted_rows(self.schema, result, self.name)
+        keep: List[bool] = []
+        for row in self.iter_rows():
             if remaining.get(row, 0) > 0:
                 remaining[row] -= 1
+                keep.append(False)
             else:
                 result.append(row)
-        return Relation(self.schema, result, self.name)
+                keep.append(True)
+        out = Relation.from_trusted_rows(self.schema, result, self.name)
+        if len(result) == len(keep):
+            out.adopt_store(carried)
+        else:
+            out.adopt_store(carried.mask(keep))
+        return out
 
     def apply_delta(self, inserts: Optional["Relation"] = None, deletes: Optional["Relation"] = None) -> "Relation":
         """Return ``self − deletes ∪ inserts`` (the view-update merge step)."""
@@ -242,22 +419,34 @@ class Relation:
             result = result.difference(deletes)
         if inserts is not None and len(inserts):
             result = result.union_all(inserts)
-        return Relation(result.schema, list(result._rows), self.name)
+        if result is self:
+            if self._rows is None:
+                # Store-backed and untouched: share the immutable store.
+                return Relation.from_store(self.schema, self._store, self.name)
+            fresh = Relation.from_trusted_rows(self.schema, list(self._rows), self.name)
+            if self._store is not None:
+                fresh.adopt_store(self._store)
+            return fresh
+        result.name = self.name
+        return result
 
     def distinct(self) -> "Relation":
         """Duplicate elimination, preserving first-occurrence order."""
         seen = set()
         result = []
-        for row in self._rows:
+        for row in self.iter_rows():
             if row not in seen:
                 seen.add(row)
                 result.append(row)
-        return Relation(self.schema, result, self.name)
+        return Relation.from_trusted_rows(self.schema, result, self.name)
 
     def project(self, columns: Sequence[str]) -> "Relation":
         """Bag projection onto ``columns`` (duplicates preserved)."""
         idxs = self.schema.positions(columns)
         schema = self.schema.project(columns)
+        if self._store is not None:
+            # Column stores project by reference: no per-row work at all.
+            return Relation.from_store(schema, self._store.take(idxs), self.name)
         if len(idxs) == 1:
             i = idxs[0]
             rows = [(row[i],) for row in self._rows]
@@ -268,13 +457,15 @@ class Relation:
 
     def select(self, predicate: Callable[[Row], bool]) -> "Relation":
         """Bag selection by an arbitrary row predicate."""
-        return Relation(self.schema, [r for r in self._rows if predicate(r)], self.name)
+        return Relation.from_trusted_rows(
+            self.schema, [r for r in self.rows if predicate(r)], self.name
+        )
 
     def sorted_by(self, columns: Sequence[str]) -> "Relation":
         """Return a copy sorted on ``columns`` (ascending)."""
         idxs = self.schema.positions(columns)
-        ordered = sorted(self._rows, key=lambda row: tuple(row[i] for i in idxs))
-        return Relation(self.schema, ordered, self.name)
+        ordered = sorted(self.rows, key=lambda row: tuple(row[i] for i in idxs))
+        return Relation.from_trusted_rows(self.schema, ordered, self.name)
 
     # ------------------------------------------------------------- comparison
 
@@ -291,9 +482,9 @@ class Relation:
     # ----------------------------------------------------------------- display
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Relation({self.name or '<anon>'}, {len(self._rows)} rows, schema={self.schema.names})"
+        return f"Relation({self.name or '<anon>'}, {len(self)} rows, schema={self.schema.names})"
 
     def to_dicts(self) -> List[Dict[str, Any]]:
         """Rows as dictionaries keyed by fully qualified column names."""
         names = self.schema.names
-        return [dict(zip(names, row)) for row in self._rows]
+        return [dict(zip(names, row)) for row in self.rows]

@@ -1,0 +1,91 @@
+"""``tools/bench_compare.py``: timing-tree diffing used by the CI artifact step."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tools", "bench_compare.py"),
+)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+def _write(path, payload):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+@pytest.fixture()
+def trees(tmp_path):
+    old = tmp_path / "old"
+    new = tmp_path / "new"
+    old.mkdir()
+    new.mkdir()
+    _write(
+        old / "BENCH_exec.json",
+        {
+            "timing": {"total_seconds": 4.0, "overall_speedup": 2.0},
+            "points": [{"view": "v1", "timing": {"physical_seconds": 1.0}}],
+        },
+    )
+    _write(
+        new / "BENCH_exec.json",
+        {
+            "timing": {"total_seconds": 2.0, "overall_speedup": 3.0},
+            "points": [{"view": "v1", "timing": {"physical_seconds": 0.25}}],
+        },
+    )
+    # Present on one side only: must be ignored, not crash the diff.
+    _write(old / "BENCH_orphan.json", {"timing": {"total_seconds": 1.0}})
+    return old, new
+
+
+def test_seconds_entries_report_speedup(trees):
+    old, new = trees
+    rows = {entry: ratio for entry, _, _, ratio in bench_compare.compare_trees(str(old), str(new))}
+    # baseline/current for wall times: 4.0s -> 2.0s is a 2x speedup.
+    assert rows["BENCH_exec.json:timing.total_seconds"] == pytest.approx(2.0)
+    assert rows["BENCH_exec.json:points[0].timing.physical_seconds"] == pytest.approx(4.0)
+
+
+def test_non_seconds_entries_report_change_factor(trees):
+    old, new = trees
+    rows = {entry: ratio for entry, _, _, ratio in bench_compare.compare_trees(str(old), str(new))}
+    # current/baseline for gates and ratios: the speedup gate improved 1.5x.
+    assert rows["BENCH_exec.json:timing.overall_speedup"] == pytest.approx(1.5)
+
+
+def test_orphan_files_are_skipped(trees):
+    old, new = trees
+    entries = [entry for entry, *_ in bench_compare.compare_trees(str(old), str(new))]
+    assert not any("orphan" in entry for entry in entries)
+
+
+def test_single_file_arguments(trees):
+    old, new = trees
+    rows = bench_compare.compare_trees(
+        str(old / "BENCH_exec.json"), str(new / "BENCH_exec.json")
+    )
+    assert len(rows) == 3
+
+
+def test_main_prints_table_and_geomean(trees, capsys):
+    old, new = trees
+    assert bench_compare.main([str(old), str(new)]) == 0
+    out = capsys.readouterr().out
+    assert "geometric-mean speedup" in out
+    assert "BENCH_exec.json:timing.total_seconds" in out
+
+
+def test_main_fails_without_overlap(tmp_path, capsys):
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    a.mkdir()
+    b.mkdir()
+    _write(a / "BENCH_only_a.json", {"timing": {"total_seconds": 1.0}})
+    _write(b / "BENCH_only_b.json", {"timing": {"total_seconds": 1.0}})
+    assert bench_compare.main([str(a), str(b)]) == 1

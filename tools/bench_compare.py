@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Diff the ``timing`` sub-objects of two ``BENCH_*.json`` trees.
+
+Every benchmark in this repo records its machine-readable numbers under
+``results/BENCH_<name>.json`` with wall-clock measurements grouped in
+``timing`` objects (possibly nested — per point, per backend).  This tool
+pairs two such trees — typically a baseline checkout's ``results/``
+directory against the working tree's — and prints one line per shared
+timing entry:
+
+* keys ending in ``_seconds`` are wall times, reported as a **speedup**
+  (baseline / current; > 1 means the current tree is faster);
+* every other numeric key (speedup gates, ratios, throughputs) is reported
+  as the plain change factor (current / baseline).
+
+Usage::
+
+    python tools/bench_compare.py <baseline> <current>
+
+where each argument is either a single ``BENCH_*.json`` file or a
+directory containing them (only filenames present on both sides are
+compared).  Exits non-zero when the two trees share no timing entries at
+all — a wiring error in CI, not a benchmark regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+from typing import Dict, Iterator, List, Tuple
+
+
+def _timing_entries(payload, path: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield ``(json_path, value)`` for every numeric leaf under a ``timing``."""
+    if isinstance(payload, dict):
+        for key, value in sorted(payload.items()):
+            child = f"{path}.{key}" if path else key
+            if key == "timing" and isinstance(value, dict):
+                for leaf, number in sorted(value.items()):
+                    if isinstance(number, (int, float)) and not isinstance(number, bool):
+                        yield f"{child}.{leaf}", float(number)
+            else:
+                yield from _timing_entries(value, child)
+    elif isinstance(payload, list):
+        for index, item in enumerate(payload):
+            yield from _timing_entries(item, f"{path}[{index}]")
+
+
+def _load(path: str) -> Dict[str, dict]:
+    """Map ``BENCH_*.json`` basenames to parsed payloads for a file or dir."""
+    if os.path.isdir(path):
+        names = sorted(
+            name
+            for name in os.listdir(path)
+            if name.startswith("BENCH_") and name.endswith(".json")
+        )
+        files = [os.path.join(path, name) for name in names]
+    else:
+        files = [path]
+    payloads = {}
+    for file in files:
+        with open(file, "r", encoding="utf-8") as handle:
+            payloads[os.path.basename(file)] = json.load(handle)
+    return payloads
+
+
+def compare_trees(baseline: str, current: str) -> List[Tuple[str, float, float, float]]:
+    """``(entry, baseline_value, current_value, ratio)`` per shared timing leaf.
+
+    The ratio follows the key's meaning: baseline/current for ``*_seconds``
+    (speedup), current/baseline otherwise (change factor).
+    """
+    old_payloads = _load(baseline)
+    new_payloads = _load(current)
+    if os.path.isfile(baseline) and os.path.isfile(current):
+        # Two explicit files always pair with each other, whatever their
+        # basenames (e.g. a downloaded artifact vs the working tree).
+        name = os.path.basename(current)
+        old_payloads = {name: next(iter(old_payloads.values()))}
+        new_payloads = {name: next(iter(new_payloads.values()))}
+    rows = []
+    for name in sorted(set(old_payloads) & set(new_payloads)):
+        old_entries = dict(_timing_entries(old_payloads[name]))
+        new_entries = dict(_timing_entries(new_payloads[name]))
+        for entry in sorted(set(old_entries) & set(new_entries)):
+            old_value = old_entries[entry]
+            new_value = new_entries[entry]
+            if entry.rsplit(".", 1)[-1].endswith("_seconds"):
+                ratio = old_value / new_value if new_value else math.inf
+            else:
+                ratio = new_value / old_value if old_value else math.inf
+            rows.append((f"{name}:{entry}", old_value, new_value, ratio))
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_*.json file or results/ dir")
+    parser.add_argument("current", help="current BENCH_*.json file or results/ dir")
+    args = parser.parse_args(argv)
+
+    rows = compare_trees(args.baseline, args.current)
+    if not rows:
+        print("bench_compare: no shared timing entries between the two trees", file=sys.stderr)
+        return 1
+
+    width = max(len(entry) for entry, *_ in rows)
+    print(f"{'entry'.ljust(width)}  {'baseline':>12}  {'current':>12}  {'ratio':>8}")
+    speedups = []
+    for entry, old_value, new_value, ratio in rows:
+        marker = "x" if entry.endswith("_seconds") else "·"
+        print(f"{entry.ljust(width)}  {old_value:12.6g}  {new_value:12.6g}  {ratio:7.2f}{marker}")
+        if entry.endswith("_seconds") and math.isfinite(ratio) and ratio > 0:
+            speedups.append(ratio)
+    if speedups:
+        geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        print(f"\ngeometric-mean speedup over {len(speedups)} timing entries: {geomean:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
