@@ -15,7 +15,7 @@ Two normalizations keep the expanded DAG small and maximize unification:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.algebra.expressions import (
     Aggregate,

@@ -19,7 +19,7 @@ corrections span the whole planning session.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.algebra.expressions import (
     Aggregate,

@@ -1,0 +1,678 @@
+"""Static analysis of logical expressions: schema, types, provenance.
+
+``analyze(expression, catalog)`` walks an :class:`~repro.algebra.Expression`
+bottom-up and infers, per output column, its :class:`~repro.catalog.schema.Column`
+(name + dtype), whether it can hold ``None``, which *base* columns it derives
+from, and through which operators — without executing anything.  Problems are
+reported as :class:`~repro.analysis.diagnostics.Diagnostic` objects (code,
+path, hint) instead of the runtime ``SchemaError``/``KeyError`` the engine
+would eventually raise three layers down.
+
+The analyzer mirrors the resolution semantics the engine actually uses:
+
+* column references resolve exactly like :meth:`Schema.index_of` — exact
+  match first, then a unique suffix match on the unqualified name;
+* join conditions resolve in either orientation, like the physical layer's
+  ``_join_positions``;
+* ``INTEGER`` and ``FLOAT`` are mutually comparable (and joinable), ``DATE``
+  additionally compares with ``INTEGER`` (TPC-D stores dates ordinally);
+  every other cross-type comparison is flagged.
+
+Column provenance — which stored base columns an output column is derived
+from, and whether it is directly stored or recomputed (aggregates) — is the
+machinery Litwin-style partial materialization needs to pick a stored column
+subset; it is exposed through :func:`provenance` and
+``Warehouse.provenance``.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.algebra.expressions import (
+    Aggregate,
+    AggregateFunc,
+    BaseRelation,
+    Difference,
+    Distinct,
+    Expression,
+    Join,
+    Project,
+    Select,
+    UnionAll,
+)
+from repro.algebra.predicates import (
+    And,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.analysis.diagnostics import Diagnostic, errors
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, ColumnType, Schema
+
+__all__ = [
+    "ColumnInfo",
+    "ColumnProvenance",
+    "AnalysisResult",
+    "analyze",
+    "provenance",
+    "structural_diagnostics",
+    "compatible_types",
+]
+
+#: Types that participate in arithmetic aggregation and compare freely.
+_NUMERIC = frozenset({ColumnType.INTEGER, ColumnType.FLOAT})
+
+
+def compatible_types(a: Optional[ColumnType], b: Optional[ColumnType]) -> bool:
+    """Whether two dtypes may be compared / equi-joined.
+
+    Unknown types (``None`` — e.g. a ``None`` literal) are compatible with
+    everything: the analyzer only flags what it can prove wrong.
+    """
+    if a is None or b is None or a is b:
+        return True
+    if a in _NUMERIC and b in _NUMERIC:
+        return True
+    # TPC-D stores dates as ordinal integers; DATE columns compare with them.
+    if {a, b} == {ColumnType.DATE, ColumnType.INTEGER}:
+        return True
+    return False
+
+
+def _literal_type(value: object) -> Optional[ColumnType]:
+    """The :class:`ColumnType` a Python literal carries (None if unknown)."""
+    if isinstance(value, bool):  # bool is an int subclass — test it first
+        return ColumnType.BOOLEAN
+    if isinstance(value, int):
+        return ColumnType.INTEGER
+    if isinstance(value, float):
+        return ColumnType.FLOAT
+    if isinstance(value, str):
+        return ColumnType.STRING
+    return None
+
+
+@dataclass(frozen=True)
+class ColumnInfo:
+    """Everything the analyzer knows about one output column."""
+
+    #: The column as the engine will see it (name + dtype).
+    column: Column
+    #: Whether the column can hold ``None`` at this point of the tree.
+    nullable: bool = False
+    #: Base columns (``relation.column``) this column derives from.
+    sources: FrozenSet[str] = frozenset()
+    #: Operator kinds the derivation crosses (``select``, ``join``, ...).
+    via: FrozenSet[str] = frozenset()
+    #: Whether the value is stored verbatim in some base relation (False for
+    #: aggregate outputs, which must be recomputed from their sources).
+    stored: bool = True
+
+    @property
+    def name(self) -> str:
+        return self.column.name
+
+    @property
+    def ctype(self) -> ColumnType:
+        return self.column.ctype
+
+    def through(self, operator: str) -> "ColumnInfo":
+        """The same column seen through one more operator."""
+        return ColumnInfo(
+            self.column, self.nullable, self.sources, self.via | {operator}, self.stored
+        )
+
+
+@dataclass(frozen=True)
+class ColumnProvenance:
+    """Public provenance record for one output column of a view."""
+
+    name: str
+    ctype: str
+    nullable: bool
+    #: Sorted base columns (``relation.column``) the value derives from.
+    sources: Tuple[str, ...]
+    #: Sorted operator kinds the derivation crosses.
+    operators: Tuple[str, ...]
+    #: Whether the value is stored verbatim in a base relation (a stored
+    #: column can be served from the base table; a derived one — aggregate
+    #: outputs — must be recomputed from its sources).
+    stored: bool
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of :func:`analyze`: diagnostics plus the inferred columns."""
+
+    diagnostics: List[Diagnostic]
+    #: Per-output-column inference; ``None`` when the expression was too
+    #: broken to type (e.g. its base relation does not exist).
+    columns: Optional[List[ColumnInfo]] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether no error-severity diagnostic was produced."""
+        return not errors(self.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return errors(self.diagnostics)
+
+    @property
+    def schema(self) -> Optional[Schema]:
+        """The inferred output schema (None when inference failed)."""
+        if self.columns is None:
+            return None
+        return Schema(tuple(info.column for info in self.columns))
+
+    @property
+    def provenance(self) -> Dict[str, ColumnProvenance]:
+        """Output column name → provenance record (empty if untypeable)."""
+        records: Dict[str, ColumnProvenance] = {}
+        for info in self.columns or []:
+            records[info.column.unqualified] = ColumnProvenance(
+                name=info.column.unqualified,
+                ctype=info.ctype.value,
+                nullable=info.nullable,
+                sources=tuple(sorted(info.sources)),
+                operators=tuple(sorted(info.via)),
+                stored=info.stored,
+            )
+        return records
+
+
+# ---------------------------------------------------------------- resolution
+
+def _resolve(
+    infos: Sequence[ColumnInfo],
+    name: str,
+    path: str,
+    out: List[Diagnostic],
+    *,
+    context: str,
+    severity: str = "error",
+) -> Optional[ColumnInfo]:
+    """Resolve ``name`` against inferred columns, mirroring ``Schema.index_of``.
+
+    Emits ``REPRO-A002`` (unknown) or ``REPRO-A003`` (ambiguous) and returns
+    ``None`` when resolution fails.
+    """
+    for info in infos:
+        if info.column.name == name:
+            return info
+    target = name.rsplit(".", 1)[-1]
+    matches = [info for info in infos if info.column.unqualified == target]
+    if len(matches) == 1:
+        return matches[0]
+    available = sorted({info.column.unqualified for info in infos})
+    if not matches:
+        near = difflib.get_close_matches(target, available, n=3, cutoff=0.5)
+        hint = (
+            f"did you mean {', '.join(repr(n) for n in near)}?"
+            if near
+            else f"available columns: {', '.join(available[:8])}"
+        )
+        out.append(
+            Diagnostic(
+                "REPRO-A002",
+                severity,
+                f"column {name!r} is not produced by {context}",
+                path,
+                hint,
+            )
+        )
+    else:
+        out.append(
+            Diagnostic(
+                "REPRO-A003",
+                severity,
+                f"column {name!r} is ambiguous in {context} "
+                f"({len(matches)} candidates)",
+                path,
+                "qualify the reference as 'relation.column'",
+            )
+        )
+    return None
+
+
+def _describe_scope(infos: Sequence[ColumnInfo]) -> str:
+    names = [info.column.unqualified for info in infos]
+    if len(names) > 6:
+        return f"schema ({', '.join(names[:6])}, ...)"
+    return f"schema ({', '.join(names)})"
+
+
+# ----------------------------------------------------------------- analyzer
+
+class _Analyzer:
+    """One analysis walk; collects diagnostics as it infers columns."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self.diagnostics: List[Diagnostic] = []
+
+    # The walk returns None for sub-trees whose schema cannot be inferred
+    # (unknown relation, failed projection): downstream checks that would
+    # need that schema are skipped rather than piling on follow-up noise.
+
+    def infer(self, node: Expression, path: str) -> Optional[List[ColumnInfo]]:
+        if isinstance(node, BaseRelation):
+            return self._base(node, path)
+        if isinstance(node, Select):
+            return self._select(node, path)
+        if isinstance(node, Project):
+            return self._project(node, path)
+        if isinstance(node, Join):
+            return self._join(node, path)
+        if isinstance(node, Aggregate):
+            return self._aggregate(node, path)
+        if isinstance(node, UnionAll):
+            return self._union(node, path)
+        if isinstance(node, Difference):
+            return self._difference(node, path)
+        if isinstance(node, Distinct):
+            child = self.infer(node.child, _extend(path, "distinct"))
+            if child is None:
+                return None
+            return [info.through("distinct") for info in child]
+        # Unknown node types are opaque, not an error: the algebra may grow.
+        return None
+
+    # ------------------------------------------------------------- operators
+
+    def _base(self, node: BaseRelation, path: str) -> Optional[List[ColumnInfo]]:
+        here = _extend(path, node.name)
+        if not self.catalog.has_table(node.name):
+            known = sorted(table.name for table in self.catalog.tables())
+            near = difflib.get_close_matches(node.name, known, n=3, cutoff=0.5)
+            hint = (
+                f"did you mean {', '.join(repr(n) for n in near)}?"
+                if near
+                else "load a catalog defining it first"
+            )
+            self.diagnostics.append(
+                Diagnostic(
+                    "REPRO-A001",
+                    "error",
+                    f"base relation {node.name!r} is not in the catalog",
+                    here,
+                    hint,
+                )
+            )
+            return None
+        schema = self.catalog.schema(node.name)
+        return [
+            ColumnInfo(
+                column,
+                nullable=False,
+                sources=frozenset({f"{node.name}.{column.unqualified}"}),
+            )
+            for column in schema.columns
+        ]
+
+    def _select(self, node: Select, path: str) -> Optional[List[ColumnInfo]]:
+        here = _extend(path, "select")
+        child = self.infer(node.child, here)
+        if child is not None:
+            self._check_predicate(node.predicate, child, here)
+            return [info.through("select") for info in child]
+        return None
+
+    def _project(self, node: Project, path: str) -> Optional[List[ColumnInfo]]:
+        here = _extend(path, "project")
+        child = self.infer(node.child, here)
+        if child is None:
+            return None
+        out: List[ColumnInfo] = []
+        ok = True
+        for name in node.columns:
+            info = _resolve(
+                child, name, here, self.diagnostics,
+                context=_describe_scope(child),
+            )
+            if info is None:
+                ok = False
+                continue
+            out.append(info.through("project"))
+        return out if ok else None
+
+    def _join(self, node: Join, path: str) -> Optional[List[ColumnInfo]]:
+        here = _extend(path, "join")
+        left = self.infer(node.left, here)
+        right = self.infer(node.right, here)
+        if left is not None and right is not None:
+            self._check_join_conditions(node.conditions, left, right, here)
+            combined = [info.through("join") for info in left + right]
+            self._check_predicate(node.residual, combined, here)
+            return combined
+        return None
+
+    def _check_join_conditions(
+        self,
+        conditions: Sequence[Tuple[str, str]],
+        left: List[ColumnInfo],
+        right: List[ColumnInfo],
+        path: str,
+    ) -> None:
+        for a, b in conditions:
+            # Mirror the engine's _join_positions: written orientation first,
+            # then swapped; complain only when neither binds.
+            probe: List[Diagnostic] = []
+            la = _resolve(left, a, path, probe, context="the left input")
+            rb = _resolve(right, b, path, probe, context="the right input")
+            if la is None or rb is None:
+                probe = []
+                lb = _resolve(left, b, path, probe, context="the left input")
+                ra = _resolve(right, a, path, probe, context="the right input")
+                if lb is not None and ra is not None:
+                    la, rb = lb, ra
+                else:
+                    self.diagnostics.append(
+                        Diagnostic(
+                            "REPRO-A002",
+                            "error",
+                            f"join condition {a!r}={b!r} binds in neither "
+                            f"orientation ({_describe_scope(left)} vs "
+                            f"{_describe_scope(right)})",
+                            path,
+                            "name one column from each join input",
+                        )
+                    )
+                    continue
+            if not compatible_types(la.ctype, rb.ctype):
+                self.diagnostics.append(
+                    Diagnostic(
+                        "REPRO-A005",
+                        "error",
+                        f"join condition {a!r}={b!r} compares "
+                        f"{la.ctype.value} with {rb.ctype.value}",
+                        path,
+                        "join keys must have comparable types "
+                        "(integer/float interoperate; strings only match strings)",
+                    )
+                )
+
+    def _aggregate(self, node: Aggregate, path: str) -> Optional[List[ColumnInfo]]:
+        here = _extend(path, "aggregate")
+        child = self.infer(node.child, here)
+        if child is None:
+            return None
+        out: List[ColumnInfo] = []
+        ok = True
+        for group in node.group_by:
+            info = _resolve(
+                child, group, here, self.diagnostics,
+                context=_describe_scope(child),
+            )
+            if info is None:
+                ok = False
+                continue
+            out.append(info.through("aggregate"))
+        seen_names = {info.column.unqualified for info in out}
+        for spec in node.aggregates:
+            sources: FrozenSet[str] = frozenset()
+            nullable = False
+            if spec.column is not None:
+                info = _resolve(
+                    child, spec.column, here, self.diagnostics,
+                    context=_describe_scope(child),
+                )
+                if info is None:
+                    ok = False
+                else:
+                    sources = info.sources
+                    nullable = info.nullable
+                    if (
+                        spec.func in (AggregateFunc.SUM, AggregateFunc.AVG)
+                        and info.ctype not in _NUMERIC
+                    ):
+                        self.diagnostics.append(
+                            Diagnostic(
+                                "REPRO-A006",
+                                "error",
+                                f"{spec.func.value}({spec.column}) aggregates a "
+                                f"{info.ctype.value} column",
+                                here,
+                                "sum/avg need an integer or float column; "
+                                "use count/min/max for other types",
+                            )
+                        )
+            alias = spec.alias.rsplit(".", 1)[-1]
+            if alias in seen_names:
+                self.diagnostics.append(
+                    Diagnostic(
+                        "REPRO-A009",
+                        "error",
+                        f"output column {alias!r} is produced more than once",
+                        here,
+                        "give the aggregate a distinct alias",
+                    )
+                )
+            seen_names.add(alias)
+            ctype = (
+                ColumnType.INTEGER
+                if spec.func is AggregateFunc.COUNT
+                else ColumnType.FLOAT
+            )
+            out.append(
+                ColumnInfo(
+                    Column(spec.alias, ctype),
+                    nullable=nullable,
+                    sources=sources,
+                    via=frozenset({"aggregate"}),
+                    stored=False,
+                )
+            )
+        return out if ok else None
+
+    def _union(self, node: UnionAll, path: str) -> Optional[List[ColumnInfo]]:
+        here = _extend(path, "union")
+        inferred = [self.infer(child, here) for child in node.inputs]
+        known = [cols for cols in inferred if cols is not None]
+        if not known:
+            return None
+        first = known[0]
+        for cols in known[1:]:
+            self._check_positional(first, cols, here, "REPRO-A007", "union")
+        # The union's output schema is its first input's (positional algebra);
+        # provenance merges all inputs positionally.
+        merged: List[ColumnInfo] = []
+        for position, info in enumerate(first):
+            sources = info.sources
+            nullable = info.nullable
+            stored = info.stored
+            for cols in known[1:]:
+                if position < len(cols):
+                    sources |= cols[position].sources
+                    nullable = nullable or cols[position].nullable
+                    stored = stored and cols[position].stored
+            merged.append(
+                ColumnInfo(
+                    info.column, nullable, sources, info.via | {"union"}, stored
+                )
+            )
+        return merged
+
+    def _difference(self, node: Difference, path: str) -> Optional[List[ColumnInfo]]:
+        here = _extend(path, "difference")
+        left = self.infer(node.left, here)
+        right = self.infer(node.right, here)
+        if left is not None and right is not None:
+            self._check_positional(left, right, here, "REPRO-A008", "difference")
+        if left is None:
+            return None
+        return [info.through("difference") for info in left]
+
+    def _check_positional(
+        self,
+        first: List[ColumnInfo],
+        other: List[ColumnInfo],
+        path: str,
+        code: str,
+        operation: str,
+    ) -> None:
+        if len(first) != len(other):
+            self.diagnostics.append(
+                Diagnostic(
+                    code,
+                    "error",
+                    f"{operation} inputs have different arities "
+                    f"({len(first)} vs {len(other)} columns)",
+                    path,
+                    f"{operation} combines inputs by position; project both "
+                    f"sides to the same column list first",
+                )
+            )
+            return
+        for position, (a, b) in enumerate(zip(first, other)):
+            if not compatible_types(a.ctype, b.ctype):
+                self.diagnostics.append(
+                    Diagnostic(
+                        code,
+                        "error",
+                        f"{operation} column {position} pairs "
+                        f"{a.column.unqualified!r} ({a.ctype.value}) with "
+                        f"{b.column.unqualified!r} ({b.ctype.value})",
+                        path,
+                        "positionally combined columns must have "
+                        "comparable types",
+                    )
+                )
+
+    # ------------------------------------------------------------ predicates
+
+    def _check_predicate(
+        self,
+        predicate: Optional[Predicate],
+        scope: List[ColumnInfo],
+        path: str,
+    ) -> None:
+        """Resolve and type-check every comparison inside a predicate tree."""
+        if predicate is None:
+            return
+        if isinstance(predicate, (And, Or)):
+            for part in predicate.parts:
+                self._check_predicate(part, scope, path)
+            return
+        if isinstance(predicate, Not):
+            self._check_predicate(predicate.inner, scope, path)
+            return
+        if isinstance(predicate, Comparison):
+            left = self._operand_type(predicate.left, scope, path)
+            right = self._operand_type(predicate.right, scope, path)
+            if not compatible_types(left, right):
+                self.diagnostics.append(
+                    Diagnostic(
+                        "REPRO-A004",
+                        "error",
+                        f"comparison {predicate.canonical()} compares "
+                        f"{left.value} with {right.value}",
+                        path,
+                        "compare columns with literals of the same type "
+                        "(integer/float interoperate)",
+                    )
+                )
+
+    def _operand_type(
+        self, operand: Predicate, scope: List[ColumnInfo], path: str
+    ) -> Optional[ColumnType]:
+        if isinstance(operand, ColumnRef):
+            info = _resolve(
+                scope, operand.name, path, self.diagnostics,
+                context=_describe_scope(scope),
+            )
+            return info.ctype if info is not None else None
+        if isinstance(operand, Literal):
+            return _literal_type(operand.value)
+        return None
+
+
+def _extend(path: str, label: str) -> str:
+    return f"{path}/{label}" if path else label
+
+
+# -------------------------------------------------------------- entry points
+
+def analyze(expression: Expression, catalog: Catalog) -> AnalysisResult:
+    """Statically analyze ``expression`` against ``catalog``.
+
+    Returns every diagnostic found (errors and warnings) plus the inferred
+    output columns when the expression is typeable.  Never raises on a bad
+    expression — the point is to replace runtime stack traces with
+    structured findings.
+    """
+    analyzer = _Analyzer(catalog)
+    columns = analyzer.infer(expression, "")
+    return AnalysisResult(analyzer.diagnostics, columns)
+
+
+def provenance(expression: Expression, catalog: Catalog) -> Dict[str, ColumnProvenance]:
+    """Column provenance of ``expression``'s output (name → record).
+
+    The record says which base columns each output column derives from,
+    through which operators, and whether it is stored verbatim in a base
+    relation or must be recomputed (aggregate outputs) — the inputs a
+    partial-materialization optimizer needs to pick a stored column subset.
+    """
+    return analyze(expression, catalog).provenance
+
+
+def structural_diagnostics(expression: Expression) -> List[Diagnostic]:
+    """Catalog-free checks usable at :meth:`Q.build` time.
+
+    Without a catalog the base-relation schemas are unknown, but aggregate
+    shapes are self-describing: duplicate output aliases and projections
+    over an aggregate that reference columns the aggregate does not produce
+    are detectable from the expression alone.
+    """
+    out: List[Diagnostic] = []
+
+    def walk(node: Expression, path: str) -> None:
+        if isinstance(node, Aggregate):
+            here = _extend(path, "aggregate")
+            produced = [g.rsplit(".", 1)[-1] for g in node.group_by]
+            for spec in node.aggregates:
+                alias = spec.alias.rsplit(".", 1)[-1]
+                if alias in produced:
+                    out.append(
+                        Diagnostic(
+                            "REPRO-A009",
+                            "error",
+                            f"output column {alias!r} is produced more than once",
+                            here,
+                            "give the aggregate a distinct alias",
+                        )
+                    )
+                produced.append(alias)
+        if isinstance(node, Project) and isinstance(node.child, Aggregate):
+            here = _extend(path, "project")
+            aggregate = node.child
+            produced = {g.rsplit(".", 1)[-1] for g in aggregate.group_by}
+            produced |= {s.alias.rsplit(".", 1)[-1] for s in aggregate.aggregates}
+            for name in node.columns:
+                if name.rsplit(".", 1)[-1] not in produced:
+                    out.append(
+                        Diagnostic(
+                            "REPRO-A002",
+                            "error",
+                            f"column {name!r} is not produced by the "
+                            f"aggregate below (outputs: "
+                            f"{', '.join(sorted(produced))})",
+                            here,
+                            "project only group-by columns and aggregate "
+                            "aliases",
+                        )
+                    )
+        for index, child in enumerate(node.children()):
+            label = type(node).__name__.lower()
+            walk(child, _extend(path, f"{label}[{index}]" if index else label))
+
+    walk(expression, "")
+    return out

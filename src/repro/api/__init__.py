@@ -11,13 +11,17 @@ This package is the supported way to drive the reproduction:
   delta coalescing and cost-based deferred refresh
   (``Warehouse.stream()``);
 * :class:`WarehouseError` — everything the façade raises on user mistakes,
-  always naming near-miss candidates for unknown names.
+  always naming near-miss candidates for unknown names;
+* :class:`Diagnostic` — one static-analysis finding (code, severity,
+  message, path, hint), as produced by the expression analyzer behind
+  ``define_view`` and exposed through ``Warehouse.provenance()``.
 
 The lower-level modules (``repro.maintenance``, ``repro.engine``, ...)
 remain importable for tests and advanced use, but examples and benchmarks
 construct the pipeline exclusively through this package.
 """
 
+from repro.analysis import ColumnProvenance, Diagnostic
 from repro.api.builder import Q, as_expression
 from repro.api.config import WarehouseConfig
 from repro.api.errors import StreamClosedError, WarehouseError
@@ -35,6 +39,8 @@ from repro.stream import StreamPolicy, TickDecision
 __all__ = [
     "Q",
     "as_expression",
+    "ColumnProvenance",
+    "Diagnostic",
     "OptimizationResult",
     "RefreshReport",
     "StreamClosedError",

@@ -191,7 +191,27 @@ class Q:
             expression = Project(expression, self._projection)
         if self._distinct:
             expression = Distinct(expression)
+        self._check_structure(expression)
         return expression
+
+    @staticmethod
+    def _check_structure(expression: Expression) -> None:
+        """Catalog-free static checks on the compiled chain.
+
+        Catches what needs no schema to spot — duplicate aggregate aliases,
+        a projection naming columns the aggregate below cannot produce —
+        with the analyzer's diagnostic codes.  The full schema/type analysis
+        runs in :meth:`Warehouse.define_view`, where a catalog exists.
+        """
+        from repro.analysis import render_diagnostics, structural_diagnostics
+        from repro.analysis.diagnostics import errors
+
+        bad = errors(structural_diagnostics(expression))
+        if bad:
+            raise WarehouseError(
+                "the query chain cannot produce a valid result:\n"
+                + render_diagnostics(bad)
+            )
 
     @staticmethod
     def _infer(name: str, joined: Sequence[str]) -> Tuple[str, str]:

@@ -11,14 +11,15 @@ profiles capture the three configurations that matter in practice:
   execution, no oracle verification;
 * ``fast``   — quickest end-to-end runs: index candidate enumeration and
   runtime feedback (plan re-optimization) off;
-* ``verify`` — every differential checked against the interpreted oracle and
-  every refreshed view compared with recomputation — slow, but any
-  divergence raises immediately.
+* ``verify`` — every differential checked against the interpreted oracle,
+  every refreshed view compared with recomputation, and every physical plan
+  statically verified on every planning call — slow, but any divergence
+  raises immediately.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, fields, replace
 from typing import Dict, Optional
 
 from repro.api.errors import WarehouseError, unknown_name
@@ -61,6 +62,17 @@ class WarehouseConfig:
     #: After ``apply()``, compare every view against full recomputation and
     #: fail (rolling the batch back) on any mismatch.
     verify_refresh: bool = False
+
+    #: Run the static expression analyzer on every ``define_view``/``query``
+    #: definition, rejecting ill-typed expressions with diagnostics instead
+    #: of letting them fail mid-execution.
+    analysis: bool = True
+    #: When the plan verifier runs over compiled physical plans:
+    #: ``"cache-insert"`` checks each plan once, when it first enters the
+    #: plan cache (the default — off the replay hot path); ``"always"``
+    #: re-checks on every planning call (the ``verify`` profile);
+    #: ``"off"`` disables plan verification.
+    verify_plans: str = "cache-insert"
 
     #: Default update batch for ``optimize()``/``apply()`` when the caller
     #: does not pass one: the paper's uniform model at this fraction ...
@@ -116,6 +128,12 @@ class WarehouseConfig:
             )
         if self.stream_policy not in ("eager", "coalesce"):
             raise unknown_name("stream policy", self.stream_policy, ("eager", "coalesce"))
+        if self.verify_plans not in ("always", "cache-insert", "off"):
+            raise unknown_name(
+                "plan verification mode",
+                self.verify_plans,
+                ("always", "cache-insert", "off"),
+            )
         if self.stream_max_rows is not None and self.stream_max_rows < 1:
             raise WarehouseError(
                 f"stream_max_rows must be positive or None, got {self.stream_max_rows}"
@@ -189,6 +207,10 @@ class WarehouseConfig:
             parts.append("verify-differentials")
         if self.verify_refresh:
             parts.append("verify-refresh")
+        if not self.analysis:
+            parts.append("no-analysis")
+        if self.verify_plans != "cache-insert":
+            parts.append(f"verify-plans={self.verify_plans}")
         return ", ".join(parts)
 
 
@@ -203,5 +225,6 @@ _PROFILES: Dict[str, WarehouseConfig] = {
         profile_name="verify",
         verify_differentials=True,
         verify_refresh=True,
+        verify_plans="always",
     ),
 }

@@ -19,7 +19,6 @@ rolling the database back (``verify_refresh`` still raises on divergence).
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Union
 
 from repro.api.errors import StreamClosedError, WarehouseError, unknown_name

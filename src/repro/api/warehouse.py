@@ -26,7 +26,7 @@ from __future__ import annotations
 import time
 from collections import Counter
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.algebra.expressions import Expression, base_relations
 from repro.api.builder import Q, as_expression
@@ -45,6 +45,9 @@ from repro.optimizer.volcano import VolcanoSearch
 from repro.storage.buffer import BufferPool
 from repro.storage.delta import DeltaStore, merge_delta_sizes
 from repro.workloads import datagen, updategen
+
+if TYPE_CHECKING:
+    from repro.analysis import ColumnProvenance
 
 
 @dataclass
@@ -172,6 +175,7 @@ class Warehouse:
             self._database,
             estimator=runtime_estimator,
             feedback=self.config.feedback,
+            verify_plans=self.config.verify_plans,
         )
 
     def _cost_model(self) -> CostModel:
@@ -183,9 +187,17 @@ class Warehouse:
 
     def define_view(self, name: str, query: Union[Q, Expression]) -> "Warehouse":
         """Register one materialized view definition (a :class:`Q` chain or a
-        ready logical expression)."""
+        ready logical expression).
+
+        With ``config.analysis`` (the default) the definition runs through
+        the static expression analyzer first: unknown columns, ill-typed
+        comparisons and joins, non-numeric aggregates and the like are
+        rejected here — with diagnostic codes and fix hints — instead of
+        failing as a ``KeyError`` deep inside a later refresh.
+        """
         expression = as_expression(query)
         self._check_relations(expression, context=f"view {name!r}")
+        self._analyze(expression, context=f"view {name!r}")
         self._views[str(name)] = expression
         self._result = None
         return self
@@ -221,6 +233,53 @@ class Warehouse:
         if self._database is not None:
             return self._database.table_names()
         return None
+
+    def _analysis_catalog(self) -> Optional[Catalog]:
+        """The catalog static analysis resolves schemas against, if any."""
+        if self._catalog is not None:
+            return self._catalog
+        if self._database is not None:
+            return self._database.catalog
+        return None
+
+    def _analyze(self, expression: Expression, context: str) -> None:
+        """Reject statically broken expressions with their diagnostics."""
+        catalog = self._analysis_catalog()
+        if not self.config.analysis or catalog is None:
+            return
+        from repro.analysis import analyze, render_diagnostics
+
+        result = analyze(expression, catalog)
+        if not result.ok:
+            raise WarehouseError(
+                f"static analysis rejected {context}:\n"
+                + render_diagnostics(result.errors)
+            )
+
+    def provenance(self, view: Union[str, Q, Expression]) -> Dict[str, "ColumnProvenance"]:
+        """Column provenance for a registered view (or an ad-hoc query).
+
+        Maps each output column to a
+        :class:`~repro.analysis.ColumnProvenance`: the base columns it
+        derives from, the operators it passed through, and whether it is
+        stored as-is (a column available directly from some base relation)
+        or computed — the distinction Litwin-style partial materialization
+        needs to pick a stored subset.
+        """
+        from repro.analysis import provenance as _provenance
+
+        if isinstance(view, str):
+            if view not in self._views:
+                raise unknown_name("view", view, self._views)
+            expression = self._views[view]
+        else:
+            expression = as_expression(view)
+        catalog = self._analysis_catalog()
+        if catalog is None:
+            raise WarehouseError(
+                "provenance needs a catalog — call load() or load_data() first"
+            )
+        return _provenance(expression, catalog)
 
     # ---------------------------------------------------------------- optimize
 
@@ -280,6 +339,7 @@ class Warehouse:
         batch = {name: as_expression(query) for name, query in queries.items()}
         for name, expression in batch.items():
             self._check_relations(expression, context=f"query {name!r}")
+            self._analyze(expression, context=f"query {name!r}")
         mqo = MultiQueryOptimizer(
             catalog,
             cost_model=self._cost_model(),
@@ -345,6 +405,7 @@ class Warehouse:
                 raise unknown_name(
                     "relation", relation, database.table_names(), hint="(in update batch)"
                 )
+        self._verify_rounds(rounds)
         if self._result is None:
             self.optimize(spec if spec is not None else self._spec_of(rounds))
         recompute, temporaries = self._maintenance_choices()
@@ -396,6 +457,28 @@ class Warehouse:
             rounds=len(rounds),
             base_rows_applied=sum(deltas.total_rows() for deltas in rounds),
         )
+
+    def _verify_rounds(self, rounds: Sequence[DeltaStore]) -> None:
+        """Statically verify every update round before anything is applied.
+
+        Catches deltas over relations outside the database (``REPRO-P004``)
+        and deltas logged against a stale base schema (``REPRO-P005``) —
+        both would otherwise corrupt base tables or views mid-refresh,
+        after some rounds already applied.
+        """
+        if self.config.verify_plans == "off":
+            return
+        from repro.analysis import render_diagnostics, verify_delta_round
+        from repro.analysis.diagnostics import errors
+
+        database = self._require_database()
+        for deltas in rounds:
+            bad = errors(verify_delta_round(deltas, database, views=self._views))
+            if bad:
+                raise WarehouseError(
+                    "update batch failed static verification:\n"
+                    + render_diagnostics(bad)
+                )
 
     @property
     def view_relations(self) -> List[str]:
@@ -625,7 +708,22 @@ class Warehouse:
         lines.extend("  " + line for line in plan.pretty().splitlines())
         lines.append("cardinalities (estimated -> actual):")
         lines.extend("  " + line for line in self._cardinality_lines(plan))
+        lines.append("verification:")
+        lines.extend("  " + line for line in self._verification_lines(plan))
         return "\n".join(lines)
+
+    def _verification_lines(self, plan) -> List[str]:
+        """Static plan-verification status rendered for ``explain``."""
+        from repro.analysis import render_verification, verify_plan
+
+        if self.config.verify_plans == "off":
+            return ["skipped (verify_plans=off)"]
+        # Catalog-only verification: explain's plan is a planning-time
+        # hypothetical (Greedy's extra materializations may not exist yet),
+        # so materialization checks would mis-fire; schema and type checks
+        # still run in full.
+        diagnostics = verify_plan(plan, catalog=self._analysis_catalog())
+        return render_verification(diagnostics)
 
     def _chosen_plan(self, view: str):
         """The view's best recomputation plan under the final configuration."""

@@ -17,7 +17,6 @@ from repro.bench.harness import ExperimentConfig, FigureSeries, run_figure_sweep
 from repro.engine.executor import evaluate
 from repro.engine.physical import PhysicalExecutor
 from repro.maintenance.maintainer import ViewRefresher
-from repro.maintenance.optimizer import ViewMaintenanceOptimizer
 from repro.maintenance.update_spec import UpdateSpec
 from repro.mqo.greedy import MultiQueryOptimizer, MqoResult
 from repro.storage.delta import DeltaStore

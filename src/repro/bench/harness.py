@@ -11,12 +11,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.algebra.expressions import Expression
 from repro.api import Warehouse, WarehouseConfig
 from repro.catalog.catalog import Catalog
-from repro.maintenance.optimizer import OptimizationResult, ViewMaintenanceOptimizer
+from repro.maintenance.optimizer import ViewMaintenanceOptimizer
 from repro.maintenance.update_spec import UpdateSpec
 from repro.optimizer.cost_model import CostModel, CostParameters
 from repro.storage.buffer import BufferPool

@@ -9,11 +9,11 @@ statistics (as the paper itself did: its numbers are estimated plan costs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.catalog.schema import Schema, TableDef
-from repro.catalog.statistics import ColumnStats, TableStats
+from repro.catalog.statistics import TableStats
 
 
 @dataclass(frozen=True)

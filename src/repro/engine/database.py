@@ -13,11 +13,11 @@ from collections import Counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.catalog.catalog import Catalog, IndexDef
-from repro.catalog.schema import Schema, TableDef
+from repro.catalog.schema import TableDef
 from repro.catalog.statistics import TableStats
 from repro.storage.columns import NumpyColumnStore, numpy as _np
 from repro.storage.delta import Delta, DeltaKind
-from repro.storage.index import HashIndex, SortedIndex, build_index
+from repro.storage.index import build_index
 from repro.storage.relation import Relation, Row, multiset_subtract
 
 #: Delta fraction beyond which a full index rebuild beats incremental

@@ -11,7 +11,7 @@ sub-expressions get reused at execution time.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.algebra.expressions import (
     Aggregate,

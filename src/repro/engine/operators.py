@@ -28,7 +28,6 @@ from repro.algebra.predicates import (
 from repro.catalog.schema import Column, ColumnType, Schema, SchemaError
 from repro.storage import columns as _backend_columns
 from repro.storage.columns import numpy as _np
-from repro.storage.index import HashIndex, SortedIndex
 from repro.storage.relation import Relation, Row
 
 #: Minimum bag size before a vector kernel will *build* a column store for a
@@ -864,11 +863,13 @@ def _vector_aggregate(
     elif len(relation) >= VECTOR_BUILD_MIN_ROWS and _backend_columns.numpy_enabled():
         # Row-backed but large: convert only the group/aggregate columns
         # this node touches instead of building the whole store.
-        def column(pos, _cache={}):
-            array = _cache.get(pos)
+        converted: Dict[int, Any] = {}
+
+        def column(pos):
+            array = converted.get(pos)
             if array is None:
                 array = _backend_columns._typed_array(relation.column_at(pos))
-                _cache[pos] = array
+                converted[pos] = array
             return array
     else:
         return None

@@ -751,12 +751,24 @@ class PhysicalExecutor:
         strict: bool = False,
         estimator: Optional[CardinalityEstimator] = None,
         feedback: bool = True,
+        verify_plans: str = "cache-insert",
     ) -> None:
+        if verify_plans not in ("always", "cache-insert", "off"):
+            raise ValueError(
+                f"verify_plans must be 'always', 'cache-insert' or 'off', "
+                f"got {verify_plans!r}"
+            )
         self.database = database
         self.cost_model = cost_model or CostModel()
         self.strict = strict
         self.estimator = estimator or CardinalityEstimator(database.catalog)
         self.feedback = feedback
+        #: When the static plan verifier runs: on every planning call
+        #: (``"always"``), only when a freshly optimized plan enters the
+        #: cache (``"cache-insert"`` — replayed plans were already checked),
+        #: or never (``"off"``).  Verifier errors raise
+        #: :class:`PhysicalPlanError` *before* anything executes.
+        self.verify_plans = verify_plans
         #: Cached plans: key -> (plan, output schema, estimate snapshot).
         #: The snapshot records the cardinality each plan step was costed
         #: with, so runtime observations can invalidate mis-costed plans.
@@ -804,6 +816,8 @@ class PhysicalExecutor:
         cached = self._plans.get(key)
         if cached is not None:
             if not (self.feedback and self.estimator.plan_drifted(cached[2])):
+                if self.verify_plans == "always":
+                    self._verify(cached[0], materialized)
                 return cached[0], cached[1]
             # Observed cardinalities disagree with what this plan was costed
             # with: drop it and re-optimize against the corrected estimates.
@@ -833,8 +847,28 @@ class PhysicalExecutor:
         outcome = search.optimize(materialized=materialized_ids)
         plan = outcome.extract_plan(dag.roots["__physical__"].id)
         schema = derive_schema(expression, catalog)
+        if self.verify_plans != "off":
+            self._verify(plan, materialized)
         self._plans[key] = (plan, schema, self._estimate_snapshot(plan))
         return plan, schema
+
+    def _verify(self, plan: PlanNode, materialized: Optional[MaterializedRegistry]) -> None:
+        """Statically verify a plan; verifier errors abort before execution.
+
+        Deliberately raises :class:`PhysicalPlanError` from ``plan()`` —
+        ``evaluate``'s interpreter fallback does not catch it, because a
+        plan the verifier rejects signals a planner/compiler defect, not an
+        expected planning limitation.
+        """
+        from repro.analysis.diagnostics import has_errors, render_diagnostics
+        from repro.analysis.planlint import verify_plan
+
+        diagnostics = verify_plan(plan, database=self.database, materialized=materialized)
+        if has_errors(diagnostics):
+            raise PhysicalPlanError(
+                "plan failed static verification:\n"
+                + render_diagnostics([d for d in diagnostics if d.severity == "error"])
+            )
 
     # --------------------------------------------------------------- execution
 

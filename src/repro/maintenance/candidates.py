@@ -19,12 +19,12 @@ provided.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.catalog.catalog import Catalog
 from repro.maintenance.diff_dag import DifferentialAnnotations, ResultKey
-from repro.optimizer.dag import Dag, EquivalenceNode, OperatorKind
+from repro.optimizer.dag import Dag, OperatorKind
 
 
 @dataclass(frozen=True)

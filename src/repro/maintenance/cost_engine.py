@@ -23,11 +23,10 @@ from __future__ import annotations
 
 import math
 from contextlib import contextmanager
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.estimator import CardinalityEstimator
-from repro.catalog.statistics import TableStats
 from repro.maintenance.diff_dag import DifferentialAnnotations, ResultKey
 from repro.maintenance.update_spec import UpdateSpec
 from repro.optimizer.cost_model import CostModel, InputDescriptor

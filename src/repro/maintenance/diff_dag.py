@@ -22,7 +22,7 @@ from repro.catalog.catalog import Catalog
 from repro.catalog.estimator import CardinalityEstimator
 from repro.catalog.statistics import TableStats
 from repro.optimizer.dag import Dag, EquivalenceNode
-from repro.storage.delta import DeltaKind, UpdateId
+from repro.storage.delta import UpdateId
 from repro.maintenance.update_spec import UpdateSpec
 
 

@@ -26,11 +26,10 @@ import heapq
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.maintenance.candidates import Candidate
 from repro.maintenance.cost_engine import MaintenanceCostEngine
-from repro.maintenance.diff_dag import ResultKey
 
 
 @dataclass

@@ -37,7 +37,7 @@ from repro.engine.differential import (
 )
 from repro.engine.executor import MaterializedRegistry, evaluate
 from repro.engine.physical import PhysicalExecutor
-from repro.storage.delta import Delta, DeltaKind, DeltaStore
+from repro.storage.delta import DeltaKind, DeltaStore
 from repro.storage.relation import Relation
 
 

@@ -17,10 +17,9 @@ the views themselves and no extra indexes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from repro.maintenance.cost_engine import MaintenanceCostEngine
-from repro.maintenance.diff_dag import ResultKey
 
 
 @dataclass

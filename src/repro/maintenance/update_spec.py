@@ -16,8 +16,8 @@ a time in that order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.statistics import TableStats

@@ -19,14 +19,13 @@ import heapq
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.algebra.expressions import Expression
 from repro.catalog.catalog import Catalog
 from repro.catalog.estimator import CardinalityEstimator
 from repro.mqo.sharing import sharable_candidates
 from repro.optimizer.cost_model import CostModel
-from repro.optimizer.dag import Dag, EquivalenceNode
 from repro.optimizer.dag_builder import DagBuilder
 from repro.optimizer.plans import PlanNode
 from repro.optimizer.volcano import VolcanoSearch

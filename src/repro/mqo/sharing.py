@@ -12,7 +12,7 @@ materializing *permanently* to speed up maintenance.
 from __future__ import annotations
 
 import re
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Set, Tuple
 
 from repro.algebra.expressions import Expression
 from repro.algebra.schema_derivation import derive_schema
@@ -71,6 +71,27 @@ def sharable_candidates(dag: Dag) -> List[EquivalenceNode]:
 _AUTO_LABEL = re.compile(r"e\d+")
 
 
+def _check_temporary_order(ordered: List[Tuple[str, Expression]]) -> None:
+    """Statically verify the materialization order before computing anything.
+
+    A temporary that contains another temporary as a sub-expression must be
+    materialized after it; raises
+    :class:`~repro.engine.physical.PhysicalPlanError` otherwise
+    (``REPRO-P007``) so a broken order surfaces before the first shared
+    result is stored.
+    """
+    from repro.analysis.diagnostics import render_diagnostics
+    from repro.analysis.planlint import verify_temporaries
+    from repro.engine.physical import PhysicalPlanError
+
+    diagnostics = verify_temporaries(ordered)
+    if diagnostics:
+        raise PhysicalPlanError(
+            "shared temporaries are not topologically ordered:\n"
+            + render_diagnostics(diagnostics)
+        )
+
+
 def execute_with_temporaries(
     database: Database,
     queries: Mapping[str, Expression],
@@ -108,6 +129,7 @@ def execute_with_temporaries(
     # shorter canonical form, so ascending canonical length is a valid
     # materialization order.
     ordered = sorted(temporaries.items(), key=lambda item: len(item[1].canonical()))
+    _check_temporary_order(ordered)
     created: List[Tuple[str, Expression]] = []
     try:
         for name, expression in ordered:

@@ -19,7 +19,7 @@ results and differentials.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.catalog.statistics import TableStats

@@ -16,8 +16,8 @@ multi-query optimizer.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.algebra.expressions import AggregateSpec, Expression
 from repro.algebra.predicates import Predicate, TruePredicate

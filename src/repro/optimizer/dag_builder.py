@@ -20,7 +20,7 @@ from a finer one) are added as extra operation nodes in a post-pass.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.algebra.expressions import (
     Aggregate,
@@ -34,13 +34,7 @@ from repro.algebra.expressions import (
     UnionAll,
     base_relations,
 )
-from repro.algebra.predicates import (
-    Comparison,
-    Predicate,
-    TruePredicate,
-    conjoin,
-    range_subsumes,
-)
+from repro.algebra.predicates import Comparison, conjoin, range_subsumes
 from repro.algebra.rewrite import (
     JoinBlock,
     flatten_join_block,

@@ -18,11 +18,10 @@ which is how index selection is folded into plan search (paper §4.3).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.catalog.catalog import Catalog
-from repro.catalog.statistics import TableStats
 from repro.optimizer.cost_model import CostModel, InputDescriptor
 from repro.optimizer.dag import Dag, EquivalenceNode, OperationNode, Operator, OperatorKind
 from repro.optimizer.plans import PlanNode, reuse_plan

@@ -40,7 +40,18 @@ from __future__ import annotations
 import contextlib
 import operator as _operator
 import os
-from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 Row = Tuple[Any, ...]
 
@@ -52,7 +63,7 @@ except ImportError:  # pragma: no cover
 #: The numpy module, or ``None`` when unavailable (import-time fallback).
 numpy = _numpy
 
-_OPS: dict = {
+_OPS: Dict[str, Callable[[Any, Any], Any]] = {
     "==": _operator.eq,
     "!=": _operator.ne,
     "<": _operator.lt,
@@ -60,6 +71,50 @@ _OPS: dict = {
     ">": _operator.gt,
     ">=": _operator.ge,
 }
+
+
+class ColumnStore(Protocol):
+    """The store protocol both backends implement (structural typing).
+
+    A store holds one array per schema column for a fixed row count and is
+    immutable: every operation returns a new store.  ``column`` may hand out
+    backend-native arrays (numpy dtypes on the vectorized path);
+    ``column_native``/``to_rows``/``iter_rows`` always yield plain Python
+    values — see the module invariants.
+    """
+
+    kind: str
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Row], arity: int) -> "ColumnStore": ...
+
+    @classmethod
+    def from_columns(
+        cls, columns: Sequence[Sequence[Any]], arity: int
+    ) -> "ColumnStore": ...
+
+    def __len__(self) -> int: ...
+
+    @property
+    def arity(self) -> int: ...
+
+    def column(self, position: int) -> Sequence[Any]: ...
+
+    def column_native(self, position: int) -> Tuple[Any, ...]: ...
+
+    def to_rows(self) -> List[Row]: ...
+
+    def iter_rows(self) -> Iterator[Row]: ...
+
+    def take(self, positions: Sequence[int]) -> "ColumnStore": ...
+
+    def gather(self, indices: Sequence[int]) -> "ColumnStore": ...
+
+    def mask(self, keep: Sequence[bool]) -> "ColumnStore": ...
+
+    def concat(self, other: Any) -> "ColumnStore": ...
+
+    def hstack(self, other: Any) -> "ColumnStore": ...
 
 
 class PythonColumnStore:
@@ -152,7 +207,7 @@ class PythonColumnStore:
         return PythonColumnStore(self._columns + other._columns, self._length)
 
 
-def _typed_array(values: Sequence[Any]):
+def _typed_array(values: Sequence[Any]) -> Any:
     """Infer the tightest array for ``values`` (see module invariants).
 
     Pure-``int`` columns land in ``int64`` (falling back to ``object`` when a
@@ -211,7 +266,7 @@ class NumpyColumnStore:
     def arity(self) -> int:
         return len(self._arrays)
 
-    def column(self, position: int):
+    def column(self, position: int) -> Any:
         """The raw backing array (numpy dtype — engine-internal use only)."""
         return self._arrays[position]
 
@@ -237,13 +292,13 @@ class NumpyColumnStore:
             tuple(self._arrays[p] for p in positions), self._length
         )
 
-    def gather(self, indices) -> "NumpyColumnStore":
+    def gather(self, indices: Any) -> "NumpyColumnStore":
         """Row subset by fancy-index array."""
         return NumpyColumnStore(
             tuple(array[indices] for array in self._arrays), int(len(indices))
         )
 
-    def mask(self, keep) -> "NumpyColumnStore":
+    def mask(self, keep: Any) -> "NumpyColumnStore":
         """Row subset by boolean mask (ndarray or any bool sequence)."""
         keep = _numpy.asarray(keep, dtype=bool)
         arrays = tuple(array[keep] for array in self._arrays)
@@ -272,11 +327,13 @@ class NumpyColumnStore:
 
     # --------------------------------------------- predicate vector protocol
 
-    def full_mask(self, value: bool):
+    def full_mask(self, value: bool) -> Any:
         """A constant boolean mask over every row."""
         return _numpy.full(self._length, bool(value))
 
-    def compare_literal(self, position: int, op: str, value: Any, reverse: bool = False):
+    def compare_literal(
+        self, position: int, op: str, value: Any, reverse: bool = False
+    ) -> Any:
         """Column-vs-literal comparison mask (``None`` cells never match)."""
         array = self._arrays[position]
         op_fn = _OPS[op]
@@ -292,7 +349,9 @@ class NumpyColumnStore:
             return _numpy.full(self._length, bool(result))
         return result
 
-    def compare_columns(self, left_position: int, op: str, right_position: int):
+    def compare_columns(
+        self, left_position: int, op: str, right_position: int
+    ) -> Any:
         """Column-vs-column comparison mask (``None`` cells never match)."""
         a = self._arrays[left_position]
         b = self._arrays[right_position]
@@ -308,7 +367,7 @@ class NumpyColumnStore:
             return _numpy.full(self._length, bool(result))
         return result
 
-    def rowwise_mask(self, fn: Callable[[Row], bool]):
+    def rowwise_mask(self, fn: Callable[[Row], bool]) -> Any:
         """Mask from an arbitrary compiled row predicate (escape hatch)."""
         return _numpy.fromiter(
             (fn(row) for row in self.iter_rows()), dtype=bool, count=self._length
@@ -317,12 +376,12 @@ class NumpyColumnStore:
 
 # -------------------------------------------------------------- backend choice
 
-_BACKENDS = {"python": PythonColumnStore}
+_BACKENDS: Dict[str, Type[Any]] = {"python": PythonColumnStore}
 if _numpy is not None:
     _BACKENDS["numpy"] = NumpyColumnStore
 
 
-def _initial_backend():
+def _initial_backend() -> Type[Any]:
     forced = os.environ.get("REPRO_BACKEND", "").strip().lower()
     if forced:
         if forced not in ("python", "numpy"):
@@ -338,7 +397,7 @@ def _initial_backend():
 _ACTIVE = _initial_backend()
 
 
-def active_backend():
+def active_backend() -> Type[Any]:
     """The store class relations build columns with (numpy when available)."""
     return _ACTIVE
 
@@ -363,7 +422,7 @@ def available_backends() -> Tuple[str, ...]:
 
 
 @contextlib.contextmanager
-def forced_backend(name: str):
+def forced_backend(name: str) -> Iterator[Type[Any]]:
     """Context manager pinning the active backend (restores on exit)."""
     previous = _ACTIVE.kind
     set_active_backend(name)

@@ -16,7 +16,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.storage.relation import Relation, multiset_subtract
+from repro.storage.relation import Relation, Row, multiset_subtract
 
 
 class DeltaKind(enum.Enum):
@@ -219,10 +219,10 @@ def coalesce_delta(earlier: Delta, later: Delta) -> CoalesceOutcome:
         )
     # Stream both deltas through iter_rows: store-backed bags (vectorized
     # operator outputs) coalesce without ever caching a row-list copy.
-    pending_inserts = Counter(earlier.inserts.iter_rows())
+    pending_inserts: "Counter[Row]" = Counter(earlier.inserts.iter_rows())
     # d₂ splits into the part that cancels pending inserts and the rest.
-    cancelled: Counter = Counter()
-    surviving_deletes: List[Tuple] = []
+    cancelled: "Counter[Row]" = Counter()
+    surviving_deletes: List[Row] = []
     for row in later.deletes.iter_rows():
         if pending_inserts[row] - cancelled[row] > 0:
             cancelled[row] += 1

@@ -10,7 +10,7 @@ same index structure serves both base tables and materialized views.
 from __future__ import annotations
 
 import bisect
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.storage.relation import Relation, Row
 

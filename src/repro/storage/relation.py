@@ -22,7 +22,7 @@ from collections import Counter
 from operator import itemgetter as _itemgetter
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.catalog.schema import Column, ColumnType, Schema
+from repro.catalog.schema import Schema
 from repro.storage import columns as _backends
 
 Row = Tuple[Any, ...]

@@ -19,7 +19,7 @@ All views are expressed over the TPC-D schema of
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.algebra.expressions import (
     Aggregate,
@@ -30,7 +30,7 @@ from repro.algebra.expressions import (
     Join,
     Select,
 )
-from repro.algebra.predicates import lt, le, gt
+from repro.algebra.predicates import lt
 
 # Foreign-key join conditions between TPC-D relations, keyed by an
 # (alphabetically ordered) relation pair.

@@ -15,9 +15,9 @@ generator.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.catalog.catalog import Catalog, IndexDef
+from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Column, ColumnType, Schema, TableDef
 from repro.catalog.statistics import ColumnStats, TableStats
 

@@ -1,0 +1,303 @@
+"""Tests for the static expression analyzer (``repro.analysis.typecheck``).
+
+Three layers of guarantees:
+
+* every negative path produces the documented ``REPRO-A0xx`` code with an
+  actionable hint (unknown relation/column, ambiguity, type mismatches,
+  non-numeric aggregates, set-operation shape errors, duplicate aliases);
+* the analyzer is conservative — every expression of every supported
+  workload analyzes with zero diagnostics, so turning analysis on can never
+  reject a working pipeline;
+* the façade integration: ``Warehouse.define_view`` and ``Q.build`` surface
+  analyzer/structural errors as :class:`WarehouseError` with the code and
+  hint in the message, and ``Warehouse.provenance`` exposes the column
+  provenance records.
+"""
+
+import pytest
+
+from repro import Q, Warehouse, WarehouseConfig, WarehouseError
+from repro.algebra.expressions import (
+    Aggregate,
+    AggregateFunc,
+    AggregateSpec,
+    BaseRelation,
+    Difference,
+    Join,
+    Project,
+    Select,
+    UnionAll,
+)
+from repro.algebra.predicates import eq, lit
+from repro.analysis import (
+    CODES,
+    SEVERITIES,
+    analyze,
+    compatible_types,
+    provenance,
+    structural_diagnostics,
+)
+from repro.catalog.schema import ColumnType
+from repro.workloads import queries
+
+
+SALES = BaseRelation("sales")
+PRODUCTS = BaseRelation("products")
+STORES = BaseRelation("stores")
+
+
+def codes_of(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+def assert_well_formed(diagnostics):
+    """Every emitted diagnostic uses a documented code and severity."""
+    for d in diagnostics:
+        assert d.code in CODES, d
+        assert d.severity in SEVERITIES, d
+        assert d.message
+        assert d.hint
+
+
+# ------------------------------------------------------------ negative paths
+
+def test_unknown_relation_is_a001_with_near_miss(star_catalog):
+    result = analyze(BaseRelation("salez"), star_catalog)
+    assert not result.ok
+    assert result.columns is None
+    (diag,) = result.errors
+    assert diag.code == "REPRO-A001"
+    assert "sales" in diag.hint
+    assert_well_formed(result.diagnostics)
+
+
+def test_unknown_column_is_a002_with_near_miss(star_catalog):
+    result = analyze(Project(SALES, ("amout",)), star_catalog)
+    (diag,) = result.errors
+    assert diag.code == "REPRO-A002"
+    assert "amount" in diag.hint
+    assert "project" in diag.path
+    assert_well_formed(result.diagnostics)
+
+
+def test_ambiguous_column_is_a003():
+    # Ambiguity needs qualified names sharing an unqualified suffix, the
+    # shape Schema.index_of's suffix matching resolves (or refuses).
+    from repro.catalog.catalog import Catalog
+    from repro.catalog.schema import Column, Schema, TableDef
+
+    catalog = Catalog()
+    schema = Schema.of(
+        Column("a.key", ColumnType.INTEGER), Column("b.key", ColumnType.INTEGER)
+    )
+    catalog.register_table(TableDef("pairs", schema, ("a.key",)))
+    result = analyze(Project(BaseRelation("pairs"), ("key",)), catalog)
+    (diag,) = result.errors
+    assert diag.code == "REPRO-A003"
+    assert "qualify" in diag.hint
+    assert_well_formed(result.diagnostics)
+
+
+def test_type_mismatched_comparison_is_a004(star_catalog):
+    result = analyze(Select(SALES, eq("amount", lit("north"))), star_catalog)
+    (diag,) = result.errors
+    assert diag.code == "REPRO-A004"
+    assert "float" in diag.message and "string" in diag.message
+    assert_well_formed(result.diagnostics)
+
+
+def test_type_mismatched_join_is_a005(star_catalog):
+    result = analyze(Join(SALES, PRODUCTS, [("amount", "p_name")]), star_catalog)
+    (diag,) = result.errors
+    assert diag.code == "REPRO-A005"
+    assert "float" in diag.message and "string" in diag.message
+    assert "comparable types" in diag.hint
+    assert_well_formed(result.diagnostics)
+
+
+def test_aggregate_of_non_numeric_column_is_a006(star_catalog):
+    bad = Aggregate(
+        PRODUCTS,
+        ["p_category"],
+        [AggregateSpec(AggregateFunc.SUM, "p_name", "total")],
+    )
+    result = analyze(bad, star_catalog)
+    (diag,) = result.errors
+    assert diag.code == "REPRO-A006"
+    assert "string" in diag.message
+    assert "integer or float" in diag.hint
+    assert_well_formed(result.diagnostics)
+
+
+def test_count_and_min_max_accept_any_type(star_catalog):
+    ok = Aggregate(
+        PRODUCTS,
+        ["p_category"],
+        [
+            AggregateSpec(AggregateFunc.COUNT, None, "n"),
+            AggregateSpec(AggregateFunc.MIN, "p_name", "first_name"),
+        ],
+    )
+    assert analyze(ok, star_catalog).ok
+
+
+def test_union_arity_mismatch_is_a007(star_catalog):
+    result = analyze(UnionAll([PRODUCTS, STORES]), star_catalog)
+    assert codes_of(result.errors) == ["REPRO-A007"]
+    assert "4 vs 3" in result.errors[0].message
+    assert_well_formed(result.diagnostics)
+
+
+def test_difference_mismatch_is_a008(star_catalog):
+    result = analyze(Difference(PRODUCTS, STORES), star_catalog)
+    assert codes_of(result.errors) == ["REPRO-A008"]
+    assert_well_formed(result.diagnostics)
+
+
+def test_duplicate_output_column_is_a009(star_catalog):
+    bad = Aggregate(
+        SALES,
+        ["product_id"],
+        [AggregateSpec(AggregateFunc.SUM, "amount", "product_id")],
+    )
+    result = analyze(bad, star_catalog)
+    assert "REPRO-A009" in codes_of(result.errors)
+    assert_well_formed(result.diagnostics)
+
+
+def test_compatible_types_matrix():
+    assert compatible_types(ColumnType.INTEGER, ColumnType.FLOAT)
+    assert compatible_types(ColumnType.DATE, ColumnType.INTEGER)
+    assert compatible_types(None, ColumnType.STRING)
+    assert compatible_types(ColumnType.STRING, ColumnType.STRING)
+    assert not compatible_types(ColumnType.STRING, ColumnType.FLOAT)
+    assert not compatible_types(ColumnType.DATE, ColumnType.FLOAT)
+
+
+# ----------------------------------------------------------- conservativeness
+
+def test_every_workload_expression_analyzes_clean(tpcd_catalog_small):
+    workloads = [
+        queries.standalone_join_view(),
+        queries.standalone_agg_view(),
+        queries.view_set_plain(),
+        queries.view_set_aggregate(),
+        queries.large_view_set(),
+        queries.large_view_set(with_aggregates=True),
+        queries.selection_variant_views(),
+        queries.example_3_1_queries(),
+        queries.example_3_2_view(),
+    ]
+    for views in workloads:
+        for name, expression in views.items():
+            result = analyze(expression, tpcd_catalog_small)
+            assert result.diagnostics == [], (name, result.diagnostics)
+            assert result.schema is not None, name
+
+
+# ---------------------------------------------------------------- provenance
+
+def test_provenance_distinguishes_stored_from_computed(tpcd_catalog_small):
+    expression = queries.standalone_agg_view()["v_revenue_by_nation"]
+    records = provenance(expression, tpcd_catalog_small)
+    revenue = records["revenue"]
+    assert revenue.stored is False
+    assert revenue.ctype == "float"
+    assert "lineitem.l_extendedprice" in revenue.sources
+    assert "aggregate" in revenue.operators
+    n_name = records["n_name"]
+    assert n_name.stored is True
+    assert n_name.sources == ("nation.n_name",)
+
+
+def test_provenance_tracks_sources_through_joins(tpcd_catalog_small):
+    expression = queries.standalone_join_view()["v_order_details"]
+    records = provenance(expression, tpcd_catalog_small)
+    assert records["o_totalprice"].sources == ("orders.o_totalprice",)
+    assert "join" in records["o_totalprice"].operators
+    assert records["o_totalprice"].stored is True
+
+
+# ----------------------------------------------------- catalog-free structure
+
+def test_structural_projection_over_aggregate_detects_missing_alias():
+    aggregate = Aggregate(
+        BaseRelation("lineitem"),
+        ["l_orderkey"],
+        [AggregateSpec(AggregateFunc.SUM, "l_extendedprice", "revenue")],
+    )
+    diags = structural_diagnostics(Project(aggregate, ("revenuez",)))
+    assert codes_of(diags) == ["REPRO-A002"]
+    assert "revenue" in diags[0].message
+
+
+def test_structural_duplicate_alias():
+    bad = Aggregate(
+        BaseRelation("lineitem"),
+        ["l_orderkey"],
+        [AggregateSpec(AggregateFunc.SUM, "l_extendedprice", "l_orderkey")],
+    )
+    assert codes_of(structural_diagnostics(bad)) == ["REPRO-A009"]
+
+
+def test_q_build_rejects_structurally_broken_chain():
+    chain = (
+        Q.table("lineitem")
+        .group_by("l_orderkey")
+        .sum("l_extendedprice", "revenue")
+        .select("revenuez")
+    )
+    with pytest.raises(WarehouseError) as excinfo:
+        chain.build()
+    assert "REPRO-A002" in str(excinfo.value)
+
+
+# --------------------------------------------------------- façade integration
+
+def test_define_view_rejects_unknown_column(star_catalog):
+    wh = Warehouse().load(catalog=star_catalog)
+    with pytest.raises(WarehouseError) as excinfo:
+        wh.define_view("v_bad", Project(SALES, ("amout",)))
+    message = str(excinfo.value)
+    assert "REPRO-A002" in message
+    assert "amount" in message  # the near-miss hint made it into the error
+    assert "v_bad" in message
+
+
+def test_define_view_rejects_type_mismatched_join(star_catalog):
+    wh = Warehouse().load(catalog=star_catalog)
+    with pytest.raises(WarehouseError) as excinfo:
+        wh.define_view("v_bad", Join(SALES, PRODUCTS, [("amount", "p_name")]))
+    assert "REPRO-A005" in str(excinfo.value)
+
+
+def test_define_view_rejects_non_numeric_aggregate(star_catalog):
+    wh = Warehouse().load(catalog=star_catalog)
+    bad = Aggregate(
+        PRODUCTS,
+        ["p_category"],
+        [AggregateSpec(AggregateFunc.SUM, "p_name", "total")],
+    )
+    with pytest.raises(WarehouseError) as excinfo:
+        wh.define_view("v_bad", bad)
+    message = str(excinfo.value)
+    assert "REPRO-A006" in message
+    assert "integer or float" in message
+
+
+def test_analysis_can_be_disabled(star_catalog):
+    wh = Warehouse(WarehouseConfig(analysis=False)).load(catalog=star_catalog)
+    wh.define_view("v_bad", Project(SALES, ("amout",)))
+    assert "v_bad" in wh.views
+
+
+def test_warehouse_provenance_for_registered_view(star_catalog):
+    wh = Warehouse().load(catalog=star_catalog)
+    wh.define_view(
+        "v_sales",
+        Join(SALES, PRODUCTS, [("product_id", "p_id")]),
+    )
+    records = wh.provenance("v_sales")
+    assert records["p_name"].sources == ("products.p_name",)
+    with pytest.raises(WarehouseError):
+        wh.provenance("v_missing")

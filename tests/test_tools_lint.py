@@ -1,0 +1,139 @@
+"""Tests for the repo invariant linter (``tools/lint_invariants.py``).
+
+Each check is exercised on a small synthetic file (positive and negative),
+the inline suppression syntax is verified, and — the load-bearing
+assertion — the repository itself lints clean, so the CI lint job cannot
+land red.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import CODES
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+LINT_PATH = REPO_ROOT / "tools" / "lint_invariants.py"
+
+_spec = importlib.util.spec_from_file_location("lint_invariants", LINT_PATH)
+lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint)
+
+
+def lint_source(tmp_path, source, relative="pkg/module.py"):
+    """Lint ``source`` as if it lived at ``relative`` inside a repo."""
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return lint.lint_file(path)
+
+
+def codes_of(findings):
+    return [f.code for f in findings]
+
+
+# ------------------------------------------------------------------- checks
+
+def test_l001_numpy_import_confined_to_columns(tmp_path):
+    source = "import numpy\n\nprint(numpy.zeros(3))\n"
+    findings = lint_source(tmp_path, source, "repro/engine/kernels.py")
+    assert "REPRO-L001" in codes_of(findings)
+    # The one sanctioned module is exempt.
+    assert codes_of(
+        lint_source(tmp_path, source, "repro/storage/columns.py")
+    ) == []
+
+
+def test_l002_wall_clock_confined_to_timing_writers(tmp_path):
+    source = "import time\n\nprint(time.perf_counter())\n"
+    findings = lint_source(tmp_path, source, "repro/engine/operators.py")
+    assert codes_of(findings) == ["REPRO-L002"]
+    assert codes_of(lint_source(tmp_path, source, "repro/bench/harness.py")) == []
+
+
+def test_l002_time_time_banned_even_in_allowlist(tmp_path):
+    source = "import time\n\nprint(time.time())\n"
+    findings = lint_source(tmp_path, source, "repro/bench/harness.py")
+    assert codes_of(findings) == ["REPRO-L002"]
+    assert "perf_counter" in findings[0].message
+
+
+def test_l003_relation_mutation_confined(tmp_path):
+    source = (
+        "def corrupt(relation, row):\n"
+        "    relation._rows = [row]\n"
+        "    relation.rows.append(row)\n"
+        "    relation.rows[0] = row\n"
+    )
+    findings = lint_source(tmp_path, source, "repro/engine/helper.py")
+    assert codes_of(findings) == ["REPRO-L003"] * 3
+    assert codes_of(
+        lint_source(tmp_path, source, "repro/storage/relation.py")
+    ) == []
+
+
+def test_l004_mutable_default_argument(tmp_path):
+    source = "def f(items=[]):\n    return items\n"
+    findings = lint_source(tmp_path, source)
+    assert codes_of(findings) == ["REPRO-L004"]
+    assert codes_of(lint_source(tmp_path, "def f(items=None):\n    pass\n")) == []
+
+
+def test_l005_init_requires_dunder_all(tmp_path):
+    findings = lint_source(tmp_path, "from pkg.mod import thing\n", "pkg/__init__.py")
+    codes = codes_of(findings)
+    assert "REPRO-L005" in codes
+    clean = lint_source(
+        tmp_path,
+        "from pkg.mod import thing\n\n__all__ = [\"thing\"]\n",
+        "pkg2/__init__.py",
+    )
+    assert codes_of(clean) == []  # __all__ also marks the import used
+
+
+def test_l006_unused_module_level_import(tmp_path):
+    findings = lint_source(tmp_path, "import os\nimport sys\n\nprint(sys.argv)\n")
+    assert codes_of(findings) == ["REPRO-L006"]
+    assert "'os'" in findings[0].message
+
+
+def test_l007_builtin_shadowing(tmp_path):
+    source = "def pick(list):\n    id = 3\n    return list[id]\n"
+    findings = lint_source(tmp_path, source)
+    assert codes_of(findings) == ["REPRO-L007", "REPRO-L007"]
+
+
+def test_inline_suppression(tmp_path):
+    assert codes_of(lint_source(tmp_path, "import os  # lint: allow(L006)\n")) == []
+    assert codes_of(
+        lint_source(tmp_path, "import os  # lint: allow(REPRO-L006)\n")
+    ) == []
+    # A suppression for a different code does not hide the finding.
+    assert codes_of(
+        lint_source(tmp_path, "import os  # lint: allow(L001)\n")
+    ) == ["REPRO-L006"]
+
+
+def test_syntax_errors_are_reported_not_raised(tmp_path):
+    findings = lint_source(tmp_path, "def broken(:\n")
+    assert codes_of(findings) == ["REPRO-L000"]
+
+
+# ------------------------------------------------------------ repo-wide gate
+
+def test_repository_lints_clean():
+    findings = []
+    for path in lint.iter_python_files(
+        [str(REPO_ROOT / "src" / "repro"), str(REPO_ROOT / "tools")]
+    ):
+        findings.extend(lint.lint_file(path))
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_linter_codes_are_documented():
+    """Every code the linter can emit appears in the shared CODES table."""
+    emitted = {f"REPRO-L00{i}" for i in range(1, 8)}
+    assert emitted <= set(CODES)
+    for code in emitted:
+        assert CODES[code], code
