@@ -14,6 +14,8 @@ A from-scratch Python reproduction of Mistry, Roy, Ramamritham and Sudarshan,
   plans and greedy selection of extra temporary/permanent materializations
 * ``repro.stream``    — streaming ingestion: delta coalescing and
   cost-based deferred refresh scheduling
+* ``repro.parallel``  — sharded parallel execution: key partitioning,
+  per-shard worker processes with exact merges, and a capacity model
 * ``repro.workloads`` — TPC-D-style schema, data, update and view generators
 * ``repro.bench``     — experiment drivers reproducing the paper's figures
 * ``repro.api``       — the public façade: one :class:`Warehouse` session
@@ -79,4 +81,5 @@ __all__ = [
     "workloads",
     "bench",
     "stream",
+    "parallel",
 ]

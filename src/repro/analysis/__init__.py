@@ -28,6 +28,7 @@ from repro.analysis.planlint import (
     render_verification,
     verify_delta_round,
     verify_plan,
+    verify_shard_plan,
     verify_temporaries,
 )
 from repro.analysis.typecheck import (
@@ -57,6 +58,7 @@ __all__ = [
     "structural_diagnostics",
     "verify_plan",
     "verify_delta_round",
+    "verify_shard_plan",
     "verify_temporaries",
     "render_verification",
 ]

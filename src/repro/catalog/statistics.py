@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.catalog.schema import Schema
+from repro.storage.columns import numpy as _np
 
 #: Default selectivity used when a predicate cannot be estimated from stats.
 DEFAULT_EQUALITY_SELECTIVITY = 0.1
@@ -35,6 +36,10 @@ _MEASUREMENT_SEED = 8191
 
 #: Exact numeric types (bool, although an int subclass, is not a measurement).
 _NUMERIC_TYPES = {int, float}
+
+#: Minimum delta size worth *building* a fresh numpy store for during stats
+#: maintenance; already-cached stores are used regardless of size.
+_VECTOR_STATS_MIN_ROWS = 64
 
 
 @dataclass(frozen=True)
@@ -80,7 +85,10 @@ class Histogram:
         population size when ``values`` is only a sample of it.  Returns
         ``None`` for an empty value list.
         """
-        ordered = sorted(values)
+        if _np is not None and isinstance(values, _np.ndarray):
+            ordered = _np.sort(values)
+        else:
+            ordered = sorted(values)
         n = len(ordered)
         if n == 0:
             return None
@@ -113,9 +121,18 @@ class Histogram:
         longer accounts for is dropped).  One sort of the delta values plus
         one bisect per bucket — O(|delta| log |delta| + buckets), never a
         per-value Python loop, so stats maintenance stays cheap on the
-        refresh hot path.
+        refresh hot path.  A numpy array of values takes the fully
+        vectorized route: ``np.sort`` plus a single ``np.searchsorted``
+        over all bucket bounds.
         """
-        ordered = sorted(values)
+        if _np is not None and isinstance(values, _np.ndarray):
+            ordered = _np.sort(values.astype(_np.float64, copy=False))
+            positions = _np.searchsorted(
+                ordered, _np.asarray(self.bounds[1:], dtype=_np.float64), side="right"
+            )
+        else:
+            ordered = sorted(values)
+            positions = None
         n = len(ordered)
         if n == 0:
             return self
@@ -131,7 +148,12 @@ class Histogram:
         for i in range(len(counts)):
             # Bucket i absorbs values up to (and including) its upper bound,
             # matching _bucket_of; the last bucket takes everything beyond.
-            pos = n if i == last else bisect_right(ordered, self.bounds[i + 1], prev)
+            if i == last:
+                pos = n
+            elif positions is not None:
+                pos = int(positions[i])
+            else:
+                pos = bisect_right(ordered, self.bounds[i + 1], prev)
             if pos > prev:
                 counts[i] = max(0.0, counts[i] + sign * (pos - prev))
             prev = pos
@@ -300,6 +322,7 @@ class TableStats:
         card = max(0.0, self.cardinality + sign * count)
         column_at = getattr(delta, "column_at", None)
         rows = None if column_at is not None else list(delta)
+        store = _vector_store_of(delta)
         new_cols = dict(self.column_stats)
         for idx, column in enumerate(delta.schema.columns):
             found = _lookup_item(self.column_stats, column.name)
@@ -309,14 +332,25 @@ class TableStats:
             if cs.histogram is None and cs.min_value is None:
                 # Non-numeric column: nothing distributional to maintain.
                 continue
-            raw = column_at(idx) if column_at is not None else [row[idx] for row in rows]
-            values = [v for v in raw if type(v) in _NUMERIC_TYPES]
+            values = None
+            if store is not None and store.column(idx).dtype.kind in "if":
+                # int64/float64 columns cannot hold None or bool by
+                # construction (mixed columns fall back to object dtype),
+                # so the per-value type filter is a no-op — feed the array
+                # straight into the vectorized histogram shift.
+                values = store.column(idx)
+            if values is None:
+                raw = column_at(idx) if column_at is not None else [row[idx] for row in rows]
+                values = [v for v in raw if type(v) in _NUMERIC_TYPES]
             histogram = cs.histogram
-            if values and histogram is not None:
+            if len(values) and histogram is not None:
                 histogram = histogram.shifted(values, sign)
             min_v, max_v = cs.min_value, cs.max_value
-            if sign > 0 and values:
-                lo, hi = float(min(values)), float(max(values))
+            if sign > 0 and len(values):
+                if _np is not None and isinstance(values, _np.ndarray):
+                    lo, hi = float(values.min()), float(values.max())
+                else:
+                    lo, hi = float(min(values)), float(max(values))
                 min_v = lo if min_v is None else min(min_v, lo)
                 max_v = hi if max_v is None else max(max_v, hi)
             # Distinct counts are deliberately left sticky: a transient
@@ -363,8 +397,37 @@ class TableStats:
             card = float(len(relation) if rows is None else len(rows))
             observed = card
         schema = schema or relation.schema
+        store = None if rows is not None else _vector_store_of(relation)
         col_stats: Dict[str, ColumnStats] = {}
         for idx, col in enumerate(schema.columns):
+            array = None
+            if store is not None:
+                column = store.column(idx)
+                if column.dtype.kind in "if":
+                    array = column
+            if array is not None:
+                # Numeric-dtype store column: by construction it holds no
+                # None and no bool, so the exact row-path filters are
+                # no-ops and every value is a numeric measurement.
+                null_fraction = (1.0 - len(array) / observed) if observed else 0.0
+                population = card * (1.0 - null_fraction)
+                distinct = float(len(_np.unique(array))) if len(array) else 1.0
+                histogram = None
+                min_v = max_v = None
+                if len(array):
+                    min_v, max_v = float(array.min()), float(array.max())
+                    histogram = Histogram.from_values(
+                        array, buckets=histogram_buckets, scale=1.0
+                    )
+                col_stats[col.name] = ColumnStats(
+                    distinct=distinct,
+                    min_value=min_v,
+                    max_value=max_v,
+                    null_fraction=null_fraction,
+                    histogram=histogram,
+                    sampled=sampled,
+                )
+                continue
             if rows is None:
                 # Exact measurement straight off the column store: no row
                 # materialization for store-backed relations.
@@ -393,6 +456,21 @@ class TableStats:
                 sampled=sampled,
             )
         return TableStats(card, schema.tuple_width, col_stats)
+
+
+def _vector_store_of(delta):
+    """The delta's numpy column store when one is (or is worth) building.
+
+    Duck-typed like the rest of the stats measurement path: any relation
+    that does not expose ``vector_store`` (or whose backend is pure Python)
+    simply stays on the row route.
+    """
+    if _np is None:
+        return None
+    vector_store = getattr(delta, "vector_store", None)
+    if vector_store is None:
+        return None
+    return vector_store(_VECTOR_STATS_MIN_ROWS)
 
 
 def _gee_distinct(values: Sequence, population: float) -> float:

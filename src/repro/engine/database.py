@@ -247,11 +247,13 @@ class Database:
             # Pure columnar append: the old rows never have to exist as
             # tuples.  (Index maintenance below needs the row list, so
             # indexed relations stay on the row path and just adopt.)
-            updated = Relation.from_store(
-                current.schema,
-                carried.concat(self._delta_tail(carried, delta_rows, current)),
-                name,
-            )
+            tail = self._delta_tail(carried, delta_rows, current)
+            if delta_rows.cached_store() is None:
+                # The tail store holds exactly the delta's rows — hand it to
+                # the delta too, so the statistics maintenance that follows
+                # runs its vectorized route even for tiny bags.
+                delta_rows.adopt_store(tail)
+            updated = Relation.from_store(current.schema, carried.concat(tail), name)
             self._store(name, updated)
             return updated
         updated = Relation.from_trusted_rows(
@@ -262,9 +264,10 @@ class Database:
             # concat with the (small) delta's columns costs O(δ + n) array
             # copying instead of re-inferring dtypes over the whole new row
             # list next time a vectorized kernel touches this table.
-            updated.adopt_store(
-                carried.concat(self._delta_tail(carried, delta_rows, current))
-            )
+            tail = self._delta_tail(carried, delta_rows, current)
+            if delta_rows.cached_store() is None:
+                delta_rows.adopt_store(tail)
+            updated.adopt_store(carried.concat(tail))
         self._store(name, updated)
         if entries:
             if len(delta_rows) > INCREMENTAL_INDEX_FRACTION * max(1, len(current)):

@@ -1,0 +1,50 @@
+"""Sharded parallel execution: partitioning, process pool, capacity model.
+
+The serial engine stays the oracle; this package adds a data-parallel path
+over it.  :mod:`repro.parallel.shard` partitions base relations by key and
+merges per-shard results exactly (bag-identical to serial execution);
+:mod:`repro.parallel.pool` runs per-shard physical plans and delta
+propagation across worker processes; :mod:`repro.parallel.capacity` predicts
+throughput vs. worker count and data size from measured per-unit costs.
+"""
+
+from repro.parallel.capacity import (
+    CapacityModel,
+    CapacityParameters,
+    effective_cores,
+    fit_error,
+)
+from repro.parallel.pool import ShardPool, ShardPoolError
+from repro.parallel.shard import (
+    MERGE_AGGREGATE_INPUT,
+    MERGE_CONCAT,
+    MERGE_REAGGREGATE,
+    MERGE_SERIAL,
+    ShardPlan,
+    ShardSpec,
+    merge_concat,
+    merge_shards,
+    partition_relation,
+    plan_shards,
+    shard_database,
+)
+
+__all__ = [
+    "CapacityModel",
+    "CapacityParameters",
+    "MERGE_AGGREGATE_INPUT",
+    "MERGE_CONCAT",
+    "MERGE_REAGGREGATE",
+    "MERGE_SERIAL",
+    "ShardPlan",
+    "ShardPool",
+    "ShardPoolError",
+    "ShardSpec",
+    "effective_cores",
+    "fit_error",
+    "merge_concat",
+    "merge_shards",
+    "partition_relation",
+    "plan_shards",
+    "shard_database",
+]

@@ -1,0 +1,211 @@
+"""Capacity model: predicted throughput vs. worker count and data size.
+
+The model follows the config-driven measured-vs-predicted template of
+resource modeling: a handful of *measured* per-unit costs (IPC roundtrip,
+per-row result shipping, partition and merge kernel costs — calibrated
+against the live pool and store kernels, not guessed) combine with a
+*predicted* compute term to give the expected wall-clock of a sharded
+execution:
+
+    T(n) = T_serial / min(n, cores)            -- compute, core-bound
+         + n · roundtrip                       -- dispatch/collect IPC
+         + merged_rows · (ship + merge)        -- result shipping + merge
+         + partitioned_rows · partition        -- delta partitioning
+
+``cores`` is the *effective* core count (the scheduler affinity mask, not
+the nominal CPU count), so the model predicts the honest flat curve on a
+single-core host and the near-linear ramp on a multi-core one; throughput
+is the reciprocal.  The benchmark (``benchmarks/test_parallel_scale.py``)
+records the measured and predicted curves side by side and gates on their
+relative fit.
+
+This module is on the repo's timing allowlist: all ``perf_counter`` reads
+of the parallel layer live here, next to the calibration they feed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence
+
+from repro.parallel.shard import ShardSpec, merge_concat, partition_relation
+from repro.storage.relation import Relation
+
+__all__ = ["CapacityModel", "CapacityParameters", "effective_cores", "fit_error"]
+
+
+def effective_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class CapacityParameters:
+    """The model's per-unit costs — measured, except for ``cores``."""
+
+    cores: int
+    #: Seconds for one empty command roundtrip to one worker.
+    roundtrip_seconds: float
+    #: Seconds per row of relation payload crossing the pipe (one way).
+    row_ship_seconds: float
+    #: Seconds per row of the columnar concat merge kernel.
+    merge_seconds_per_row: float
+    #: Seconds per row of the partition kernel (shard-id + scatter).
+    partition_seconds_per_row: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready view (all fields)."""
+        return {
+            "cores": self.cores,
+            "roundtrip_seconds": self.roundtrip_seconds,
+            "row_ship_seconds": self.row_ship_seconds,
+            "merge_seconds_per_row": self.merge_seconds_per_row,
+            "partition_seconds_per_row": self.partition_seconds_per_row,
+        }
+
+
+@dataclass
+class CapacityModel:
+    """Predicts sharded-execution wall-clock and throughput."""
+
+    parameters: CapacityParameters
+    #: Predicted points recorded by :meth:`predict_seconds`, for curve dumps.
+    history: List[Dict[str, float]] = field(default_factory=list)
+
+    @classmethod
+    def calibrate(
+        cls,
+        pool,
+        sample: Relation,
+        key_column: Optional[str] = None,
+        repeats: int = 3,
+        cores: Optional[int] = None,
+    ) -> "CapacityModel":
+        """Measure the per-unit costs against a live pool and a sample bag.
+
+        ``sample`` should be a few thousand rows of a real base relation;
+        ``key_column`` defaults to its first column.  Costs are medians over
+        ``repeats`` runs, divided down to per-row / per-roundtrip units.
+        ``pool`` only needs ``ping(payload)`` and ``workers`` — inline pools
+        calibrate too (their roundtrip cost is just much smaller).
+        """
+        workers = max(1, pool.workers)
+
+        def timed(action) -> float:
+            samples = []
+            for _ in range(repeats):
+                start = perf_counter()
+                action()
+                samples.append(perf_counter() - start)
+            return sorted(samples)[len(samples) // 2]
+
+        empty_ping = timed(lambda: pool.ping(None))
+        payload_ping = timed(lambda: pool.ping(sample))
+        roundtrip = empty_ping / workers
+        shipped_rows = 2 * len(sample) * workers  # echoed: out and back, per worker
+        row_ship = max(0.0, payload_ping - empty_ping) / max(1, shipped_rows)
+
+        column = key_column if key_column is not None else sample.schema.names[0]
+        spec = ShardSpec(
+            ((sample.name or "__calibration__", column),), workers=workers
+        )
+        parts_holder: List[List[Relation]] = []
+
+        def run_partition() -> None:
+            parts_holder.append(partition_relation(sample, column, spec))
+
+        partition_seconds = timed(run_partition)
+        parts = parts_holder[-1]
+        merge_seconds = timed(lambda: merge_concat(parts) if len(parts) > 1 else None)
+        per_row = max(1, len(sample))
+        return cls(
+            CapacityParameters(
+                cores=cores if cores is not None else effective_cores(),
+                roundtrip_seconds=roundtrip,
+                row_ship_seconds=row_ship,
+                merge_seconds_per_row=merge_seconds / per_row,
+                partition_seconds_per_row=partition_seconds / per_row,
+            )
+        )
+
+    # --------------------------------------------------------------- prediction
+
+    def predict_seconds(
+        self,
+        serial_seconds: float,
+        workers: int,
+        merged_rows: int = 0,
+        partitioned_rows: int = 0,
+        concurrent: bool = True,
+    ) -> float:
+        """Expected wall-clock of one sharded execution.
+
+        ``serial_seconds`` is the measured single-worker compute time;
+        ``concurrent=False`` models the inline executor (workers run
+        sequentially, so compute does not scale no matter the core count).
+        """
+        p = self.parameters
+        scale = min(workers, p.cores) if concurrent else 1
+        seconds = (
+            serial_seconds / max(1, scale)
+            + workers * p.roundtrip_seconds
+            + merged_rows * (p.row_ship_seconds + p.merge_seconds_per_row)
+            + partitioned_rows * p.partition_seconds_per_row
+        )
+        self.history.append(
+            {
+                "workers": workers,
+                "serial_seconds": serial_seconds,
+                "predicted_seconds": seconds,
+            }
+        )
+        return seconds
+
+    def predict_throughput(
+        self,
+        serial_seconds: float,
+        workers: int,
+        merged_rows: int = 0,
+        partitioned_rows: int = 0,
+        concurrent: bool = True,
+    ) -> float:
+        """Expected executions per second (reciprocal of the time model)."""
+        return 1.0 / max(
+            1e-12,
+            self.predict_seconds(
+                serial_seconds, workers, merged_rows, partitioned_rows, concurrent
+            ),
+        )
+
+    def curve(
+        self,
+        serial_seconds: float,
+        worker_counts: Sequence[int],
+        merged_rows: int = 0,
+        partitioned_rows: int = 0,
+        concurrent: bool = True,
+    ) -> List[Dict[str, float]]:
+        """Predicted (workers → seconds, throughput) points for one workload."""
+        points = []
+        for workers in worker_counts:
+            seconds = self.predict_seconds(
+                serial_seconds, workers, merged_rows, partitioned_rows, concurrent
+            )
+            points.append(
+                {
+                    "workers": workers,
+                    "predicted_seconds": seconds,
+                    "predicted_throughput": 1.0 / max(1e-12, seconds),
+                }
+            )
+        return points
+
+
+def fit_error(predicted_seconds: float, measured_seconds: float) -> float:
+    """Relative error of one predicted point against its measurement."""
+    return abs(predicted_seconds - measured_seconds) / max(1e-12, measured_seconds)

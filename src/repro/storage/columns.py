@@ -206,6 +206,31 @@ class PythonColumnStore:
         """Horizontal concatenation (join output assembly)."""
         return PythonColumnStore(self._columns + other._columns, self._length)
 
+    def partition(self, shard_ids: Sequence[int], shards: int) -> List["PythonColumnStore"]:
+        """Split rows into ``shards`` stores by per-row shard id.
+
+        Every row lands in exactly one output store (``shard_ids[i]`` names
+        it); empty shards come back as empty stores, so the concatenation of
+        all outputs is a permutation of the input bag.
+        """
+        buckets: List[List[int]] = [[] for _ in range(shards)]
+        for position, shard in enumerate(shard_ids):
+            buckets[shard].append(position)
+        return [self.gather(bucket) for bucket in buckets]
+
+    @classmethod
+    def concat_many(cls, stores: Sequence["PythonColumnStore"]) -> "PythonColumnStore":
+        """Vertical concatenation of several stores (bag union of shards)."""
+        if not stores:
+            raise ValueError("concat_many needs at least one store")
+        if len(stores) == 1:
+            return stores[0]
+        columns = tuple(
+            tuple(v for store in stores for v in store._columns[p])
+            for p in range(stores[0].arity)
+        )
+        return cls(columns, sum(len(store) for store in stores))
+
 
 def _typed_array(values: Sequence[Any]) -> Any:
     """Infer the tightest array for ``values`` (see module invariants).
@@ -324,6 +349,42 @@ class NumpyColumnStore:
     def hstack(self, other: "NumpyColumnStore") -> "NumpyColumnStore":
         """Horizontal concatenation (join output assembly)."""
         return NumpyColumnStore(self._arrays + other._arrays, self._length)
+
+    def partition(self, shard_ids: Any, shards: int) -> List["NumpyColumnStore"]:
+        """Split rows into ``shards`` stores by per-row shard id (vectorized).
+
+        One boolean mask per shard over the typed arrays; rows never leave
+        columnar form, so shard-local execution keeps the numpy fast paths.
+        """
+        ids = _numpy.asarray(shard_ids, dtype=_numpy.int64)
+        return [self.mask(ids == shard) for shard in range(shards)]
+
+    @classmethod
+    def concat_many(cls, stores: Sequence["NumpyColumnStore"]) -> "NumpyColumnStore":
+        """Vertical concatenation of several stores (bag union of shards).
+
+        Columns whose dtypes agree across every shard concatenate directly;
+        mixed dtypes (one shard inferred ``int64`` where another saw floats)
+        are rebuilt from native values and re-inferred, exactly as a
+        single-store build over the merged rows would have typed them.
+        """
+        if not stores:
+            raise ValueError("concat_many needs at least one store")
+        if len(stores) == 1:
+            return stores[0]
+        length = sum(len(store) for store in stores)
+        arrays = []
+        for p in range(stores[0].arity):
+            columns = [store._arrays[p] for store in stores]
+            dtypes = {column.dtype for column in columns}
+            if len(dtypes) == 1 and columns[0].dtype != object:
+                arrays.append(_numpy.concatenate(columns))
+            else:
+                merged: List[Any] = []
+                for column in columns:
+                    merged.extend(column.tolist())
+                arrays.append(_typed_array(merged))
+        return cls(tuple(arrays), length)
 
     # --------------------------------------------- predicate vector protocol
 

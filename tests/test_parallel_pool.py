@@ -1,0 +1,209 @@
+"""The shard pool: parallel execution and delta propagation vs the serial oracle.
+
+Everything here is exact-equivalence testing: whatever the pool computes —
+full evaluations, MQO-shared evaluations, per-shard differentials, multi-
+batch warehouse sessions — must be **bag-identical** to the serial engine,
+in both executor modes (forked workers and the in-process inline fallback).
+"""
+
+import os
+
+import pytest
+
+from repro import Warehouse, WarehouseConfig, WarehouseError
+from repro.engine.differential import differentiate
+from repro.engine.executor import evaluate
+from repro.mqo.greedy import MultiQueryOptimizer
+from repro.mqo.sharing import execute_with_temporaries
+from repro.parallel import ShardPool, ShardPoolError, ShardSpec
+from repro.storage.delta import DeltaKind
+from repro.workloads import queries
+from repro.workloads.datagen import TpcdDataGenerator
+from repro.workloads.updategen import uniform_deltas
+
+MODES = ["inline", "fork"]
+
+
+def workload_views():
+    combined = {}
+    combined.update(queries.standalone_join_view())
+    combined.update(queries.standalone_agg_view())
+    combined.update(queries.view_set_plain())
+    combined.update(queries.view_set_aggregate())
+    combined.update(queries.large_view_set())
+    return combined
+
+
+@pytest.fixture(scope="module")
+def database():
+    return TpcdDataGenerator(scale_factor=0.001, seed=3).populate()
+
+
+@pytest.fixture(params=MODES)
+def pool(request, database):
+    spec = ShardSpec.for_database(database, workers=2)
+    with ShardPool(database, spec, mode=request.param) as shard_pool:
+        yield shard_pool
+
+
+# ------------------------------------------------------------------- evaluation
+
+def test_evaluate_many_matches_serial_on_the_workload(pool, database):
+    views = workload_views()
+    results = pool.evaluate_many(list(views.items()))
+    parallel = 0
+    for name, expression in views.items():
+        merged = results[name]
+        if merged is None:
+            assert not pool.plan(expression).parallel
+            continue
+        parallel += 1
+        serial = evaluate(expression, database)
+        assert merged.same_bag(serial), f"{name} diverged from serial"
+        assert merged.schema.names == serial.schema.names
+    assert parallel >= 15  # 18/21 workload views distribute
+
+
+def test_serial_only_batch_returns_all_none(pool):
+    results = pool.evaluate_many([("v", queries.large_view_set()["v05_part_supply"])])
+    assert results == {"v": None}
+
+
+def test_mqo_temporaries_shared_across_shards(pool, database):
+    views = queries.view_set_plain()
+    optimizer = MultiQueryOptimizer(database.catalog)
+    result = optimizer.optimize(views)
+    with_pool = execute_with_temporaries(database, views, result.plans, parallel=pool)
+    serial = execute_with_temporaries(database, views, result.plans)
+    for name in views:
+        assert with_pool[name].same_bag(serial[name]), name
+
+
+# ---------------------------------------------------------------- differentials
+
+def test_parallel_differentials_match_the_serial_oracle(pool, database):
+    views = workload_views()
+    deltas = uniform_deltas(database, 0.05, relations=["lineitem"], seed=11)
+    (delta,) = [d for d in deltas if d.relation == "lineitem"]
+    assert len(delta.inserts)
+    changes = pool.differentials(
+        list(views.items()), "lineitem", DeltaKind.INSERT, delta.inserts
+    )
+    checked = 0
+    for name, expression in views.items():
+        change = changes[name]
+        if change is None:
+            continue  # aggregate/serial views keep their serial differential
+        checked += 1
+        oracle = differentiate(
+            expression, database, "lineitem", DeltaKind.INSERT, delta.inserts
+        )
+        assert change.inserts.same_bag(oracle.inserts), name
+        assert change.deletes.same_bag(oracle.deletes), name
+    assert checked >= 10  # every concat-merge view took the parallel path
+
+
+def test_apply_update_keeps_workers_in_step(pool, database):
+    working = database.copy()
+    spec = pool.spec
+    with ShardPool(working, spec, mode=pool.mode) as shard_pool:
+        expression = queries.standalone_join_view()["v_order_details"]
+        deltas = uniform_deltas(working, 0.05, relations=["lineitem"], seed=13)
+        (delta,) = [d for d in deltas if d.relation == "lineitem"]
+        working.apply_update("lineitem", DeltaKind.INSERT, delta.inserts)
+        shard_pool.apply_update("lineitem", DeltaKind.INSERT, delta.inserts)
+        merged = shard_pool.evaluate(expression)
+        assert merged.same_bag(evaluate(expression, working))
+
+
+# --------------------------------------------------------------------- façade
+
+def _session(workers):
+    config = WarehouseConfig.profile("verify", workers=workers)
+    wh = Warehouse(config).load(scale=0.1)
+    wh.define_views(
+        {
+            "v_order_details": queries.standalone_join_view()["v_order_details"],
+            "v_revenue_by_nation": queries.standalone_agg_view()["v_revenue_by_nation"],
+        }
+    )
+    wh.optimize()
+    wh.load_data(
+        scale=0.001,
+        seed=7,
+        tables=["region", "nation", "supplier", "customer", "orders", "lineitem"],
+    )
+    return wh
+
+
+def test_warehouse_workers_2_is_bag_identical_to_serial():
+    serial = _session(workers=1)
+    with _session(workers=2) as parallel:
+        assert parallel.shard_pool() is not None
+        for _ in range(2):
+            serial.apply(0.05)
+            parallel.apply(0.05)
+        for name in serial.views:
+            a = serial._database.view(name)
+            b = parallel._database.view(name)
+            assert a.same_bag(b), f"{name} diverged with workers=2"
+        assert parallel.verify() == {name: True for name in parallel.views}
+
+
+def test_load_data_invalidates_the_pool():
+    with _session(workers=2) as wh:
+        first = wh.shard_pool()
+        wh.load_data(scale=0.001, seed=9, tables=["region", "nation", "supplier",
+                                                  "customer", "orders", "lineitem"])
+        second = wh.shard_pool()
+        assert second is not first
+        with pytest.raises(ShardPoolError):
+            first.ping()
+
+
+def test_workers_config_validation_and_env_pin(monkeypatch):
+    with pytest.raises(WarehouseError):
+        WarehouseConfig(workers=0)
+    monkeypatch.setenv("REPRO_WORKERS", "3")
+    assert WarehouseConfig().workers == 3
+    monkeypatch.setenv("REPRO_WORKERS", "many")
+    with pytest.raises(WarehouseError):
+        WarehouseConfig()
+    monkeypatch.delenv("REPRO_WORKERS")
+    assert WarehouseConfig().workers == 1
+
+
+def test_single_worker_session_has_no_pool():
+    # Pin workers=1 explicitly: the CI matrix runs this suite under a
+    # REPRO_WORKERS=2 env default.
+    wh = Warehouse(WarehouseConfig(workers=1)).load(scale=0.1)
+    wh.load_data(scale=0.001, seed=7, tables=["region", "nation"])
+    assert wh.shard_pool() is None
+
+
+# ------------------------------------------------------------------- lifecycle
+
+def test_closed_pool_rejects_requests(database):
+    spec = ShardSpec.for_database(database, workers=2)
+    shard_pool = ShardPool(database, spec, mode="inline")
+    shard_pool.close()
+    with pytest.raises(ShardPoolError):
+        shard_pool.evaluate(queries.standalone_join_view()["v_order_details"])
+
+
+def test_worker_errors_surface_with_tracebacks(database):
+    from repro.algebra.expressions import BaseRelation
+
+    spec = ShardSpec.for_database(database, workers=2)
+    with ShardPool(database, spec, mode="fork") as shard_pool:
+        plan = shard_pool.plan(queries.standalone_join_view()["v_order_details"])
+        assert plan.parallel
+        with pytest.raises(ShardPoolError):
+            # An unknown relation only fails at worker execution time.
+            shard_pool._request_all(("eval", [("bad", BaseRelation("no_such_table"))]))
+
+
+def test_pool_mode_validation(database):
+    spec = ShardSpec.for_database(database, workers=2)
+    with pytest.raises(ValueError):
+        ShardPool(database, spec, mode="threads")

@@ -89,3 +89,30 @@ def test_main_fails_without_overlap(tmp_path, capsys):
     _write(a / "BENCH_only_a.json", {"timing": {"total_seconds": 1.0}})
     _write(b / "BENCH_only_b.json", {"timing": {"total_seconds": 1.0}})
     assert bench_compare.main([str(a), str(b)]) == 1
+
+
+def test_fail_under_passes_when_geomean_clears_floor(trees):
+    old, new = trees
+    # The fixture's wall-clock entries speed up 2x and 4x (geomean ~2.83x).
+    assert bench_compare.main([str(old), str(new), "--fail-under", "2.0"]) == 0
+
+
+def test_fail_under_fails_on_regression(trees, capsys):
+    old, new = trees
+    assert bench_compare.main([str(old), str(new), "--fail-under", "3.0"]) == 1
+    err = capsys.readouterr().err
+    assert "below the --fail-under floor" in err
+
+
+def test_fail_under_without_wall_clock_entries_is_an_error(tmp_path, capsys):
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    a.mkdir()
+    b.mkdir()
+    # Shared timing entries exist, but none of them are wall times — a gate
+    # over zero *_seconds entries must not vacuously pass.
+    _write(a / "BENCH_gate.json", {"timing": {"overall_speedup": 2.0}})
+    _write(b / "BENCH_gate.json", {"timing": {"overall_speedup": 2.0}})
+    assert bench_compare.main([str(a), str(b)]) == 0
+    assert bench_compare.main([str(a), str(b), "--fail-under", "0.5"]) == 1
+    assert "no wall-clock entries" in capsys.readouterr().err

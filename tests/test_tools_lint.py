@@ -104,6 +104,27 @@ def test_l007_builtin_shadowing(tmp_path):
     assert codes_of(findings) == ["REPRO-L007", "REPRO-L007"]
 
 
+def test_l008_multiprocessing_confined_to_parallel(tmp_path):
+    source = "import multiprocessing\n\nprint(multiprocessing.cpu_count())\n"
+    findings = lint_source(tmp_path, source, "repro/engine/operators.py")
+    assert codes_of(findings) == ["REPRO-L008"]
+    # concurrent.futures counts as process-level parallelism too.
+    futures = "from concurrent.futures import ProcessPoolExecutor\n\nprint(ProcessPoolExecutor)\n"
+    assert "REPRO-L008" in codes_of(
+        lint_source(tmp_path, futures, "repro/mqo/sharing.py")
+    )
+    # The parallel package is the sanctioned home.
+    assert codes_of(lint_source(tmp_path, source, "repro/parallel/pool.py")) == []
+    # The usual escape hatch applies.
+    assert codes_of(
+        lint_source(
+            tmp_path,
+            "import multiprocessing  # lint: allow(L008)\n\nprint(multiprocessing)\n",
+            "repro/engine/operators.py",
+        )
+    ) == []
+
+
 def test_inline_suppression(tmp_path):
     assert codes_of(lint_source(tmp_path, "import os  # lint: allow(L006)\n")) == []
     assert codes_of(
@@ -133,7 +154,7 @@ def test_repository_lints_clean():
 
 def test_linter_codes_are_documented():
     """Every code the linter can emit appears in the shared CODES table."""
-    emitted = {f"REPRO-L00{i}" for i in range(1, 8)}
+    emitted = {f"REPRO-L00{i}" for i in range(1, 9)}
     assert emitted <= set(CODES)
     for code in emitted:
         assert CODES[code], code

@@ -15,12 +15,17 @@ timing entry:
 
 Usage::
 
-    python tools/bench_compare.py <baseline> <current>
+    python tools/bench_compare.py <baseline> <current> [--fail-under RATIO]
 
 where each argument is either a single ``BENCH_*.json`` file or a
 directory containing them (only filenames present on both sides are
 compared).  Exits non-zero when the two trees share no timing entries at
 all — a wiring error in CI, not a benchmark regression.
+
+``--fail-under`` turns the table into a regression gate: when the
+geometric-mean speedup over all shared wall-clock entries falls below the
+given ratio, the exit status is non-zero.  A floor of ``0.8`` tolerates
+~20% noise on shared CI runners while still catching real slowdowns.
 """
 
 from __future__ import annotations
@@ -100,6 +105,14 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="baseline BENCH_*.json file or results/ dir")
     parser.add_argument("current", help="current BENCH_*.json file or results/ dir")
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit non-zero when the geometric-mean wall-clock speedup "
+        "(baseline/current) falls below this ratio",
+    )
     args = parser.parse_args(argv)
 
     rows = compare_trees(args.baseline, args.current)
@@ -115,9 +128,27 @@ def main(argv=None) -> int:
         print(f"{entry.ljust(width)}  {old_value:12.6g}  {new_value:12.6g}  {ratio:7.2f}{marker}")
         if entry.endswith("_seconds") and math.isfinite(ratio) and ratio > 0:
             speedups.append(ratio)
+    geomean = None
     if speedups:
         geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
         print(f"\ngeometric-mean speedup over {len(speedups)} timing entries: {geomean:.2f}x")
+    if args.fail_under is not None:
+        if geomean is None:
+            # A gate over zero wall-clock entries would vacuously pass —
+            # treat it as the same wiring error as two disjoint trees.
+            print(
+                "bench_compare: --fail-under given but no wall-clock entries "
+                "were compared",
+                file=sys.stderr,
+            )
+            return 1
+        if geomean < args.fail_under:
+            print(
+                f"bench_compare: geometric-mean speedup {geomean:.2f}x is below "
+                f"the --fail-under floor {args.fail_under:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

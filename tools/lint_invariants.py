@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""AST lints encoding this repository's engine invariants (REPRO-L001..L007).
+"""AST lints encoding this repository's engine invariants (REPRO-L001..L008).
 
 The invariants below were established in prose across earlier changes; this
 tool makes them machine-checked so they cannot erode silently:
@@ -23,6 +23,10 @@ tool makes them machine-checked so they cannot erode silently:
 * **REPRO-L006** — no unused module-level imports.
 * **REPRO-L007** — builtin names are not shadowed by assignments,
   parameters, or loop targets.
+* **REPRO-L008** — process-level parallelism (``multiprocessing`` /
+  ``concurrent.futures``) is confined to ``src/repro/parallel/``; every
+  other layer stays deterministic and single-process, taking parallelism
+  only through the :class:`~repro.parallel.ShardPool` interface.
 
 Usage::
 
@@ -59,7 +63,12 @@ TIMING_ALLOWLIST: Tuple[str, ...] = (
     "repro/mqo/greedy.py",
     "repro/maintenance/greedy.py",
     "repro/maintenance/optimizer.py",
+    "repro/parallel/capacity.py",
 )
+#: The one package allowed to spawn processes (posix-style path prefix).
+PARALLEL_PACKAGE = "repro/parallel/"
+#: Module roots that imply process-level parallelism (L008).
+_PARALLEL_MODULES = ("multiprocessing", "concurrent")
 #: Methods that mutate a list in place (for the L003 ``.rows`` check).
 _LIST_MUTATORS = frozenset(
     {"append", "extend", "insert", "pop", "clear", "remove", "sort", "reverse"}
@@ -180,6 +189,34 @@ def _check_wall_clock(tree: ast.Module, path: Path) -> List[Finding]:
                     node.lineno,
                     "REPRO-L002",
                     "time.time() is not monotonic — use time.perf_counter()",
+                )
+            )
+    return findings
+
+
+def _check_process_parallelism(tree: ast.Module, path: Path) -> List[Finding]:
+    if _matches(path, PARALLEL_PACKAGE):
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        names: List[str] = []
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            names = [node.module]
+        if any(
+            name == root or name.startswith(root + ".")
+            for name in names
+            for root in _PARALLEL_MODULES
+        ):
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    "REPRO-L008",
+                    "process-level parallelism imported outside "
+                    "src/repro/parallel/ — go through repro.parallel.ShardPool "
+                    "so sharding, merging and verification stay in one place",
                 )
             )
     return findings
@@ -368,6 +405,7 @@ def _check_builtin_shadowing(tree: ast.Module, path: Path) -> List[Finding]:
 _CHECKS = (
     _check_numpy_imports,
     _check_wall_clock,
+    _check_process_parallelism,
     _check_relation_mutation,
     _check_mutable_defaults,
     _check_dunder_all,
