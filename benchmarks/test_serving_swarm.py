@@ -1,0 +1,214 @@
+"""Serving-layer benchmark: a concurrent client swarm vs a serial oracle.
+
+This is the benchmark for :mod:`repro.serving`: the fig3 view pair is
+served through ``Warehouse.serve()`` while reader threads hammer the
+views and the producer ingests the same churn stream the stream benchmark
+uses.  Two SLO cells run — ``serve-stale`` and ``block``, both bounded at
+``max_rounds=4`` over the cost-based deferral — and each must clear the
+correctness gates before any number counts:
+
+* **snapshot isolation**: every *distinct (view, version)* relation any
+  reader was served is bag-identical to a serial oracle that replayed the
+  same update rounds eagerly, one at a time, up to that version's as-of
+  round.  Snapshot contents are immutable per version, so this verifies
+  every individual read without a per-query bag comparison;
+* **SLO admission**: no non-degraded read ever observed staleness beyond
+  the configured bound (degraded reads are the ``serve-stale`` policy's
+  explicit escape hatch, and are counted, not hidden).
+
+``results/BENCH_serving.json`` records p50/p99 read latency, throughput,
+and the maximum observed staleness per cell under ``timing`` (wall-clock
+and scheduling-dependent numbers never go in the deterministic part);
+``results/serving.txt`` records the deterministic verification table.
+
+Environment knobs for CI smoke runs: ``SERVING_ROUNDS``,
+``SERVING_READERS``, ``SERVING_SCALE``.
+"""
+
+import os
+
+from repro.algebra.expressions import base_relations
+from repro.api import FreshnessSLO, Warehouse, WarehouseConfig
+from repro.bench.experiments import PAPER_SCALE_FACTOR
+from repro.serving import run_client_swarm
+from repro.workloads import queries
+from repro.workloads.datagen import small_database
+from repro.workloads.updategen import generate_update_stream
+
+from benchmarks.helpers import write_json_result, write_result
+
+SCALE = float(os.environ.get("SERVING_SCALE", "0.002"))
+ROUNDS = int(os.environ.get("SERVING_ROUNDS", "10"))
+READERS = int(os.environ.get("SERVING_READERS", "4"))
+UPDATE_PERCENTAGE = 0.03
+OVERLAP = 0.6
+SLO_BOUND = 4
+
+#: The two SLO policy cells the acceptance criteria require.
+CELLS = ("serve-stale", "block")
+
+
+def _make_warehouse(database):
+    """The stream benchmark's setup: plan at paper scale, run small."""
+    wh = Warehouse(
+        WarehouseConfig.profile(
+            "fast",
+            serving_block_timeout_seconds=60.0,
+            serving_tick_seconds=0.01,
+        )
+    )
+    wh.load(scale=PAPER_SCALE_FACTOR)
+    wh.load_data(database=database)
+    wh.define_views(VIEWS)
+    wh.optimize()
+    wh.apply(0.0)  # materialize the views before serving starts
+    return wh
+
+
+VIEWS = {**queries.standalone_join_view(), **queries.standalone_agg_view()}
+
+
+def _build_oracle(base, stream_rounds):
+    """View contents after each serial round prefix: ``oracle[r]`` = rounds 1..r.
+
+    Refreshes always *replace* view relations (the REPRO-L003 invariant),
+    so capturing the relation references after each eager round is a
+    faithful, immutable per-round snapshot.
+    """
+    database = base.copy()
+    wh = _make_warehouse(database)
+    oracle = [{name: database.view(name) for name in VIEWS}]
+    with wh.stream("eager") as session:
+        for deltas in stream_rounds:
+            session.ingest(deltas)
+            oracle.append({name: database.view(name) for name in VIEWS})
+    return oracle
+
+
+def _run_cell(base, stream_rounds, policy, slo):
+    database = base.copy()
+    wh = _make_warehouse(database)
+    session = wh.serve(read_policy=policy, slo=slo)
+    try:
+        swarm = run_client_swarm(
+            session, sorted(VIEWS), stream_rounds, readers=READERS
+        )
+        final_round = session.as_of_round
+    finally:
+        session.close()
+    return swarm, final_round
+
+
+def run_serving_benchmark():
+    base = small_database(scale_factor=SCALE)
+    involved = sorted({r for e in VIEWS.values() for r in base_relations(e)})
+    stream_rounds = generate_update_stream(
+        base,
+        UPDATE_PERCENTAGE,
+        ROUNDS,
+        relations=involved,
+        overlap=OVERLAP,
+        seed=4242,
+    )
+    oracle = _build_oracle(base, stream_rounds)
+    slo = FreshnessSLO(max_rounds=SLO_BOUND)
+    cells = []
+    for policy in CELLS:
+        swarm, final_round = _run_cell(base, stream_rounds, policy, slo)
+        verified = all(
+            relation.same_bag(oracle[as_of][view])
+            for (view, _version), (relation, as_of) in sorted(
+                swarm.served_versions.items()
+            )
+        )
+        cells.append((policy, slo, swarm, final_round, verified))
+    return stream_rounds, cells
+
+
+def test_serving_swarm_matches_serial_oracle(benchmark):
+    """Concurrent serving is exactly serial replay, within the SLO bounds."""
+    stream_rounds, cells = benchmark.pedantic(
+        run_serving_benchmark, rounds=1, iterations=1
+    )
+
+    payload_cells = []
+    table = [
+        f"serving: concurrent client swarm over snapshot-isolated views "
+        f"(scale factor {SCALE:g}, {UPDATE_PERCENTAGE:.0%} updates x "
+        f"{ROUNDS} rounds, {READERS} readers)",
+        f"{'policy':<12}  {'slo':<12}  {'rounds':>6}  {'verified':>8}  {'slo_respected':>13}",
+        f"{'-' * 12}  {'-' * 12}  {'-' * 6}  {'-' * 8}  {'-' * 13}",
+    ]
+    for policy, slo, swarm, final_round, verified in cells:
+        # Correctness gates before any performance claim.
+        assert not swarm.errors, f"[{policy}] reader errors: {swarm.errors}"
+        assert swarm.ingested_rounds == ROUNDS, (
+            f"[{policy}] producer only landed {swarm.ingested_rounds} of "
+            f"{ROUNDS} rounds ({swarm.shed_ingests} shed)"
+        )
+        assert final_round == ROUNDS, (
+            f"[{policy}] daemon settled at round {final_round}, not {ROUNDS}"
+        )
+        assert swarm.queries > 0, f"[{policy}] the swarm never got a read in"
+        assert verified, (
+            f"[{policy}] a served snapshot diverged from the serial oracle"
+        )
+        # Admission control: non-degraded reads always satisfy the SLO.
+        slo_respected = swarm.max_fresh_staleness_rounds <= SLO_BOUND
+        assert slo_respected, (
+            f"[{policy}] a non-degraded read observed "
+            f"{swarm.max_fresh_staleness_rounds} rounds of staleness "
+            f"(SLO bound: {SLO_BOUND})"
+        )
+        table.append(
+            f"{policy:<12}  {slo.render():<12}  {ROUNDS:>6}  "
+            f"{str(verified):>8}  {str(slo_respected):>13}"
+        )
+        payload_cells.append(
+            {
+                "policy": policy,
+                "slo": slo.render(),
+                "slo_max_rounds": SLO_BOUND,
+                "ingested_rounds": swarm.ingested_rounds,
+                "final_round": final_round,
+                "verified": verified,
+                "slo_respected": slo_respected,
+                # Latency, throughput and observed staleness depend on
+                # thread scheduling — timing sub-object, never diffed.
+                "timing": {
+                    "p50_ms": swarm.p50_ms,
+                    "p99_ms": swarm.p99_ms,
+                    "elapsed_seconds": swarm.elapsed_seconds,
+                    "throughput_qps": swarm.throughput_qps,
+                    "queries": float(swarm.queries),
+                    "degraded_reads": float(swarm.degraded),
+                    "rejected_reads": float(swarm.rejected),
+                    "max_staleness_rounds": float(swarm.max_staleness_rounds),
+                    "max_staleness_rows": float(swarm.max_staleness_rows),
+                    "max_fresh_staleness_rounds": float(
+                        swarm.max_fresh_staleness_rounds
+                    ),
+                    "distinct_versions": float(len(swarm.served_versions)),
+                },
+            }
+        )
+
+    table.append(
+        "(latency percentiles, throughput and observed staleness: "
+        "results/BENCH_serving.json)"
+    )
+    write_result("serving", "\n".join(table))
+    write_json_result(
+        "serving",
+        {
+            "experiment": "serving",
+            "scale_factor": SCALE,
+            "update_percentage": UPDATE_PERCENTAGE,
+            "overlap": OVERLAP,
+            "rounds": ROUNDS,
+            "readers": READERS,
+            "slo_max_rounds": SLO_BOUND,
+            "views": sorted(VIEWS),
+            "cells": payload_cells,
+        },
+    )

@@ -14,6 +14,8 @@ A from-scratch Python reproduction of Mistry, Roy, Ramamritham and Sudarshan,
   plans and greedy selection of extra temporary/permanent materializations
 * ``repro.stream``    — streaming ingestion: delta coalescing and
   cost-based deferred refresh scheduling
+* ``repro.serving``   — the concurrent serving tier: versioned snapshot
+  reads, a background refresh daemon, per-view freshness SLOs
 * ``repro.parallel``  — sharded parallel execution: key partitioning,
   per-shard worker processes with exact merges, and a capacity model
 * ``repro.workloads`` — TPC-D-style schema, data, update and view generators
@@ -37,8 +39,15 @@ The supported entry point is the façade::
 
 from repro.api import (
     Q,
+    FreshnessSLO,
     OptimizationResult,
     RefreshReport,
+    ServedResult,
+    ServingClosedError,
+    ServingError,
+    ServingSession,
+    StaleReadError,
+    Staleness,
     StreamClosedError,
     StreamPolicy,
     StreamSession,
@@ -69,6 +78,14 @@ __all__ = [
     "StreamPolicy",
     "TickDecision",
     "StreamClosedError",
+    # Concurrent serving (Warehouse.serve()).
+    "ServingSession",
+    "ServedResult",
+    "FreshnessSLO",
+    "Staleness",
+    "ServingError",
+    "ServingClosedError",
+    "StaleReadError",
     # The substrate packages (importable for tests and advanced use).
     "api",
     "catalog",
@@ -81,5 +98,6 @@ __all__ = [
     "workloads",
     "bench",
     "stream",
+    "serving",
     "parallel",
 ]

@@ -70,6 +70,7 @@ CODES: Dict[str, str] = {
     "REPRO-L006": "unused module-level import",
     "REPRO-L007": "builtin name shadowed",
     "REPRO-L008": "multiprocessing imported outside src/repro/parallel/",
+    "REPRO-L009": "threading imported outside src/repro/serving/ and src/repro/parallel/",
 }
 
 #: Diagnostic severities, in increasing order of trouble.

@@ -10,6 +10,9 @@ This package is the supported way to drive the reproduction:
 * :class:`StreamSession` / :class:`StreamPolicy` — streaming ingest with
   delta coalescing and cost-based deferred refresh
   (``Warehouse.stream()``);
+* :class:`ServingSession` / :class:`FreshnessSLO` — the concurrent serving
+  tier: snapshot-isolated reads, a background refresh daemon, per-view
+  staleness SLOs with degradation policies (``Warehouse.serve()``);
 * :class:`WarehouseError` — everything the façade raises on user mistakes,
   always naming near-miss candidates for unknown names;
 * :class:`Diagnostic` — one static-analysis finding (code, severity,
@@ -24,7 +27,14 @@ construct the pipeline exclusively through this package.
 from repro.analysis import ColumnProvenance, Diagnostic
 from repro.api.builder import Q, as_expression
 from repro.api.config import WarehouseConfig
-from repro.api.errors import StreamClosedError, WarehouseError
+from repro.api.errors import (
+    ServingClosedError,
+    ServingError,
+    StaleReadError,
+    StreamClosedError,
+    WarehouseError,
+)
+from repro.api.serving import ServedResult, ServingSession
 from repro.api.stream import StreamSession
 from repro.api.warehouse import (
     UpdateBatch,
@@ -34,6 +44,7 @@ from repro.api.warehouse import (
 from repro.maintenance.maintainer import RefreshReport
 from repro.maintenance.optimizer import OptimizationResult
 from repro.maintenance.update_spec import UpdateSpec
+from repro.serving import FreshnessSLO, SnapshotHandle, Staleness
 from repro.stream import StreamPolicy, TickDecision
 
 __all__ = [
@@ -41,8 +52,16 @@ __all__ = [
     "as_expression",
     "ColumnProvenance",
     "Diagnostic",
+    "FreshnessSLO",
     "OptimizationResult",
     "RefreshReport",
+    "ServedResult",
+    "ServingClosedError",
+    "ServingError",
+    "ServingSession",
+    "SnapshotHandle",
+    "StaleReadError",
+    "Staleness",
     "StreamClosedError",
     "StreamPolicy",
     "StreamSession",

@@ -123,6 +123,29 @@ class WarehouseConfig:
     #: ``False`` only the staleness bounds trigger flushes).
     stream_cost_based: bool = True
 
+    #: Admission policy for ``Warehouse.serve()`` reads whose view violates
+    #: its freshness SLO: ``"serve-stale"`` serves the pinned snapshot and
+    #: flags the result degraded; ``"block"`` waits (up to
+    #: ``serving_block_timeout_seconds``) for a fresh-enough snapshot, then
+    #: degrades; ``"reject"`` sheds the read with ``StaleReadError``.
+    serving_read_policy: str = "serve-stale"
+    #: Per-view freshness SLO: most ingested-but-unapplied update rounds a
+    #: served view tolerates before the daemon forces a refresh
+    #: (``None`` = unbounded, cost-based deferral alone decides).
+    serving_max_staleness_rounds: Optional[int] = 8
+    #: ... most pending delta rows over the view's base relations.
+    serving_max_staleness_rows: Optional[int] = None
+    #: ... longest (seconds) a pending ingest may wait before a refresh.
+    serving_max_staleness_seconds: Optional[float] = None
+    #: Bounded write queue between ``ingest()`` callers and the refresh
+    #: daemon; a full queue sheds the ingest with ``ServingError``.
+    serving_queue_capacity: int = 1024
+    #: How long a ``block`` read waits for freshness before degrading.
+    serving_block_timeout_seconds: float = 5.0
+    #: Idle wake-up period of the refresh daemon (enforces time-based SLOs
+    #: when no ingests arrive).
+    serving_tick_seconds: float = 0.05
+
     #: Name of the profile this config was derived from (informational).
     profile_name: str = "paper"
 
@@ -177,6 +200,51 @@ class WarehouseConfig:
                 "needs stream_max_rows or stream_max_batches — nothing "
                 "would ever trigger a refresh"
             )
+        if self.serving_read_policy not in ("serve-stale", "block", "reject"):
+            raise unknown_name(
+                "serving read policy",
+                self.serving_read_policy,
+                ("serve-stale", "block", "reject"),
+            )
+        if (
+            self.serving_max_staleness_rounds is not None
+            and self.serving_max_staleness_rounds < 1
+        ):
+            raise WarehouseError(
+                f"serving_max_staleness_rounds must be positive or None, got "
+                f"{self.serving_max_staleness_rounds}"
+            )
+        if (
+            self.serving_max_staleness_rows is not None
+            and self.serving_max_staleness_rows < 1
+        ):
+            raise WarehouseError(
+                f"serving_max_staleness_rows must be positive or None, got "
+                f"{self.serving_max_staleness_rows}"
+            )
+        if (
+            self.serving_max_staleness_seconds is not None
+            and self.serving_max_staleness_seconds <= 0
+        ):
+            raise WarehouseError(
+                f"serving_max_staleness_seconds must be positive or None, got "
+                f"{self.serving_max_staleness_seconds}"
+            )
+        if self.serving_queue_capacity < 1:
+            raise WarehouseError(
+                f"serving_queue_capacity must be positive, got "
+                f"{self.serving_queue_capacity}"
+            )
+        if self.serving_block_timeout_seconds <= 0:
+            raise WarehouseError(
+                f"serving_block_timeout_seconds must be positive, got "
+                f"{self.serving_block_timeout_seconds}"
+            )
+        if self.serving_tick_seconds <= 0:
+            raise WarehouseError(
+                f"serving_tick_seconds must be positive, got "
+                f"{self.serving_tick_seconds}"
+            )
 
     def make_stream_policy(self) -> "StreamPolicy":
         """The :class:`~repro.stream.StreamPolicy` these knobs describe."""
@@ -188,6 +256,17 @@ class WarehouseConfig:
             max_rows=self.stream_max_rows,
             max_batches=self.stream_max_batches,
             cost_based=self.stream_cost_based,
+        )
+
+    def make_freshness_slo(self) -> "FreshnessSLO":
+        """The default per-view :class:`~repro.serving.FreshnessSLO` the
+        serving knobs describe (``serve()`` overrides apply per view)."""
+        from repro.serving import FreshnessSLO
+
+        return FreshnessSLO(
+            max_rounds=self.serving_max_staleness_rounds,
+            max_rows=self.serving_max_staleness_rows,
+            max_seconds=self.serving_max_staleness_seconds,
         )
 
     def _vectorized(self) -> bool:

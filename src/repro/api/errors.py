@@ -25,6 +25,22 @@ class StreamClosedError(WarehouseError):
     """
 
 
+class ServingError(WarehouseError):
+    """A serving-layer failure: a crashed refresh daemon surfacing into a
+    client call, an ingest shed because the write queue is full, or misuse
+    of the serving session."""
+
+
+class ServingClosedError(ServingError):
+    """Raised when querying (or ingesting into) a closed serving session."""
+
+
+class StaleReadError(ServingError):
+    """A read shed by the ``reject`` admission policy: the view's staleness
+    exceeds its :class:`~repro.serving.FreshnessSLO` and the session was
+    told to refuse degraded reads rather than serve or block."""
+
+
 def unknown_name(
     kind: str, name: str, known: Iterable[str], hint: Optional[str] = None
 ) -> WarehouseError:

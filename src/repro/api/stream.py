@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.api.errors import StreamClosedError, WarehouseError, unknown_name
 from repro.maintenance.update_spec import UpdateSpec
+from repro.serving.sync import Mutex
 from repro.storage.delta import DeltaStore
 from repro.storage.relation import Row
 from repro.stream import StreamPolicy, StreamScheduler, TickDecision
@@ -64,6 +65,12 @@ class StreamSession:
         #: one monotonic key space.
         self._pending_deletes: Dict[str, List[Row]] = {}
         self._ticks = 0
+        #: Serializes ingest/flush/close: the session is not a concurrent
+        #: object (use ``Warehouse.serve()`` for that), but lifecycle races
+        #: must stay deterministic — a ``flush()`` racing a ``close()``
+        #: either completes first or raises ``StreamClosedError``, never
+        #: double-flushes or interleaves half-taken pending state.
+        self._mutex = Mutex()
 
     # ---------------------------------------------------------------- ingest
 
@@ -78,14 +85,15 @@ class StreamSession:
         scheduler's :class:`~repro.stream.TickDecision`; when it says
         ``refresh`` the flush has already happened (see :attr:`reports`).
         """
-        self._require_open()
-        self._ticks += 1
-        deltas = self._resolve(batch, seed)
-        decision = self._scheduler.ingest(deltas)
-        self._track_pending(deltas)
-        if decision.refreshes:
-            self._flush_pending()
-        return decision
+        with self._mutex:
+            self._require_open()
+            self._ticks += 1
+            deltas = self._resolve(batch, seed)
+            decision = self._scheduler.ingest(deltas)
+            self._track_pending(deltas)
+            if decision.refreshes:
+                self._flush_pending()
+            return decision
 
     def _resolve(self, batch: Optional[IngestBatch], seed: Optional[int]) -> DeltaStore:
         wh = self._warehouse
@@ -157,9 +165,15 @@ class StreamSession:
         session closes itself, the un-refreshed rounds stay readable in
         :attr:`failed_rounds`, and further ``ingest()``/``flush()`` raise
         :class:`~repro.api.errors.StreamClosedError`.
+
+        ``flush()`` and ``close()`` are mutually exclusive: under a race,
+        whichever enters second waits, and a flush that arrives after the
+        close completed raises :class:`StreamClosedError` deterministically
+        instead of double-flushing.
         """
-        self._require_open()
-        return self._flush_pending()
+        with self._mutex:
+            self._require_open()
+            return self._flush_pending()
 
     def _flush_pending(self):
         had_batches = self._scheduler.pending.batches > 0
@@ -190,12 +204,18 @@ class StreamSession:
         return report
 
     def close(self):
-        """Flush pending deltas and retire the session."""
-        if self._closed:
-            return None
-        report = self._flush_pending()
-        self._closed = True
-        return report
+        """Flush pending deltas and retire the session.
+
+        Idempotent and safe under a racing :meth:`flush`: both serialize on
+        the session mutex, so exactly one of them performs the final flush
+        and a second ``close()`` is a no-op returning ``None``.
+        """
+        with self._mutex:
+            if self._closed:
+                return None
+            report = self._flush_pending()
+            self._closed = True
+            return report
 
     def __enter__(self) -> "StreamSession":
         return self
@@ -206,7 +226,8 @@ class StreamSession:
         if exc_type is None:
             self.close()
         else:
-            self._closed = True
+            with self._mutex:
+                self._closed = True
 
     # ------------------------------------------------------------ inspection
 

@@ -682,6 +682,61 @@ class Warehouse:
             # surface it as the façade's error family.
             raise WarehouseError(str(exc)) from exc
 
+    # ----------------------------------------------------------------- serving
+
+    def serve(
+        self,
+        *,
+        read_policy: Optional[str] = None,
+        slo=None,
+        slos=None,
+        stream_policy: Optional[Union[str, "StreamPolicy"]] = None,
+    ) -> "ServingSession":
+        """Open a concurrent serving session (see :mod:`repro.serving`).
+
+        Returns a thread-safe :class:`~repro.api.serving.ServingSession`:
+        readers query snapshot-isolated view contents while a background
+        daemon drains ingested update rounds through the stream scheduler
+        and republishes snapshots at every refresh commit::
+
+            with wh.serve(read_policy="serve-stale") as session:
+                session.ingest(0.02)               # queued, non-blocking
+                result = session.query("revenue")  # never torn state
+            print(session.explain_serving())
+
+        ``read_policy`` (``"serve-stale"`` / ``"block"`` / ``"reject"``),
+        the default ``slo`` (a :class:`~repro.serving.FreshnessSLO`) and
+        per-view ``slos`` overrides default to the config's serving knobs;
+        ``stream_policy`` takes the same shapes as :meth:`stream`.  While
+        the session is open it owns this warehouse's engine — do not
+        interleave ``apply()`` / ``stream()`` on the same warehouse.
+        """
+        from repro.api.serving import ServingSession
+        from repro.stream import StreamPolicy
+
+        self._require_database()
+        if not self._views:
+            raise WarehouseError("no views defined — call define_view() first")
+        if isinstance(stream_policy, str):
+            stream_policy = replace(
+                self.config, stream_policy=stream_policy
+            ).make_stream_policy()
+        elif stream_policy is not None and not isinstance(stream_policy, StreamPolicy):
+            raise WarehouseError(
+                f"serve() takes a StreamPolicy or a policy name for "
+                f"stream_policy, got {type(stream_policy).__name__}"
+            )
+        try:
+            return ServingSession(
+                self,
+                read_policy=read_policy,
+                slo=slo,
+                slos=slos,
+                stream_policy=stream_policy,
+            )
+        except ValueError as exc:
+            raise WarehouseError(str(exc)) from exc
+
     def _stream_round_cost(self):
         """The per-round cost model stream schedulers consult.
 

@@ -283,21 +283,31 @@ class Database:
 
     @staticmethod
     def _vector_delete_mask(store, delta_rows: Relation):
-        """Keep-mask for ``store − delta`` via columnar candidate narrowing.
+        """Keep-mask for ``store − delta``, columnar end to end.
 
-        Numeric columns cheaply narrow the rows that could possibly match a
-        delete (``isin`` membership per column); only those candidates are
-        gathered as tuples for the exact first-match multiset subtraction
-        that mirrors :func:`multiset_subtract`.  Returns ``True`` when no
-        row matched, a boolean keep array otherwise, or ``None`` when the
-        store has no usable numeric column (caller falls back to rows).
+        Two vectorized routes, exact first-match multiset semantics either
+        way (mirroring :func:`multiset_subtract`):
+
+        1. **Candidate narrowing** — numeric columns cheaply narrow the rows
+           that could possibly match a delete (``isin`` membership per
+           column); when few candidates survive, only those are gathered as
+           tuples for the Counter-based subtraction.
+        2. **Codes subtraction** (:meth:`_vector_codes_mask`) — when no
+           numeric column exists (string-keyed views) or narrowing leaves a
+           large candidate set, every column is factorized into integer
+           codes and the whole subtraction runs as array arithmetic: no
+           per-row Python loop at all.
+
+        Returns ``True`` when no row matched, a boolean keep array
+        otherwise, or ``None`` when neither route applies (caller falls
+        back to the row path).
         """
         if _np is None or not isinstance(store, NumpyColumnStore):
             return None
-        width = store.arity
         target = len(delta_rows)
         candidates = None
-        for position in range(width):
+        narrowed = False
+        for position in range(store.arity):
             column = store.column(position)
             if column.dtype.kind not in "if":
                 continue
@@ -307,12 +317,27 @@ class Database:
             hit = _np.isin(column, probe)
             candidates = hit if candidates is None else candidates & hit
             if int(candidates.sum()) <= 4 * target:
+                narrowed = True
                 break
-        if candidates is None:
-            return None
-        positions = _np.flatnonzero(candidates)
-        if not len(positions):
-            return True
+        if candidates is not None:
+            positions = _np.flatnonzero(candidates)
+            if not len(positions):
+                return True
+            if narrowed:
+                return Database._candidate_delete_mask(store, positions, delta_rows)
+        keep = Database._vector_codes_mask(store, delta_rows)
+        if keep is not None:
+            return keep
+        if candidates is not None:
+            return Database._candidate_delete_mask(
+                store, _np.flatnonzero(candidates), delta_rows
+            )
+        return None
+
+    @staticmethod
+    def _candidate_delete_mask(store, positions, delta_rows: Relation):
+        """Exact subtraction over a narrowed candidate set (gathered rows)."""
+        target = len(delta_rows)
         remaining = Counter(delta_rows.rows)
         get = remaining.get
         deleted: List[int] = []
@@ -330,6 +355,75 @@ class Database:
         keep = _np.ones(len(store), dtype=bool)
         keep[_np.asarray(deleted, dtype=_np.int64)] = False
         return keep
+
+    @staticmethod
+    def _vector_codes_mask(store, delta_rows: Relation):
+        """Fully vectorized first-match multiset delete via column codes.
+
+        Each column of ``store ⧺ delta`` is factorized into dense integer
+        codes (``np.unique`` with ``return_inverse``), the per-column codes
+        are folded into one row-group id, and the delete quota per group is
+        the delta's group histogram.  A store row is deleted iff its rank
+        among equal rows *in store order* is below the quota — exactly the
+        first-match order of :func:`multiset_subtract`, with no Python loop
+        over rows.
+
+        Returns ``None`` (caller falls back) when the columns cannot be
+        factorized faithfully: un-orderable mixed values (``None`` beside
+        strings) make ``np.unique`` raise, and NaN keys in the delta would
+        collapse under ``np.unique`` even though ``Counter`` equality never
+        matches them.
+        """
+        n = len(store)
+        target = len(delta_rows)
+        if n == 0 or target == 0:
+            return True
+        group = None
+        for position in range(store.arity):
+            column = store.column(position)
+            probe = _np.asarray(delta_rows.column_at(position))
+            if probe.dtype.kind == "f" and bool(_np.isnan(probe).any()):
+                return None
+            if probe.dtype.kind == "O" and any(
+                isinstance(value, float) and value != value for value in probe.tolist()
+            ):
+                return None
+            try:
+                merged = _np.concatenate([column, probe])
+                _, codes = _np.unique(merged, return_inverse=True)
+            except (TypeError, ValueError):
+                return None
+            codes = codes.astype(_np.int64, copy=False)
+            if group is None:
+                group = codes
+            else:
+                paired = group * _np.int64(int(codes.max()) + 1) + codes
+                _, group = _np.unique(paired, return_inverse=True)
+                group = group.astype(_np.int64, copy=False)
+        if group is None:
+            return None
+        store_groups = group[:n]
+        delta_groups = group[n:]
+        quota = _np.bincount(delta_groups, minlength=int(group.max()) + 1)
+        if not bool((quota[store_groups] > 0).any()):
+            return True
+        # Rank of each store row among equal rows, in store order: stable
+        # argsort groups equal rows together preserving arrival order, so
+        # rank = position-in-run of the sorted sequence scattered back.
+        order = _np.argsort(store_groups, kind="stable")
+        sorted_groups = store_groups[order]
+        run_flags = _np.concatenate(
+            ([False], sorted_groups[1:] != sorted_groups[:-1])
+        )
+        run_ids = _np.cumsum(run_flags)
+        starts = _np.concatenate(([0], _np.flatnonzero(run_flags)))
+        ranks_sorted = _np.arange(n, dtype=_np.int64) - starts[run_ids]
+        ranks = _np.empty(n, dtype=_np.int64)
+        ranks[order] = ranks_sorted
+        delete = ranks < quota[store_groups]
+        if not bool(delete.any()):
+            return True
+        return ~delete
 
     def _apply_delete(self, name: str, current: Relation, delta_rows: Relation) -> Relation:
         """Remove a delete bag (one copy per match) and remap index positions."""

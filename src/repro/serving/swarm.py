@@ -1,0 +1,185 @@
+"""A threaded client swarm over a serving session (the benchmark driver).
+
+:func:`run_client_swarm` hammers one
+:class:`~repro.api.serving.ServingSession` with N reader threads issuing
+point queries round-robin over the served views while the calling thread
+plays the update producer, ingesting a churn stream of update rounds.  It
+records what the serving benchmark needs:
+
+* per-read **latency** (monotonic ``perf_counter`` intervals — this module
+  lives in the ``repro/serving/`` timing allowlist) with p50/p99
+  percentiles and overall throughput;
+* the **maximum staleness** any admitted read observed, per the SLO
+  accounting (rounds and rows), plus degraded/rejected counts;
+* every **distinct (view, version)** relation served, with its as-of
+  round — the hook for serial-oracle verification: snapshot contents are
+  immutable per version, so checking each distinct version against a
+  serial replay of rounds ``1..as_of`` verifies *every* read that was
+  served from it, without comparing bags per query.
+
+The driver is deliberately free of policy: admission control, SLOs and
+refresh scheduling all live in the session; the swarm only reads, writes
+and measures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serving.sync import Event, Mutex, Thread
+from repro.storage.relation import Relation
+
+
+@dataclass
+class SwarmResult:
+    """Everything one swarm run measured."""
+
+    #: Reads that were admitted (served a snapshot, degraded or not).
+    queries: int = 0
+    #: Admitted reads served beyond their SLO (``degraded=True``).
+    degraded: int = 0
+    #: Reads shed by the ``reject`` policy.
+    rejected: int = 0
+    #: Ingest rounds the producer pushed.
+    ingested_rounds: int = 0
+    #: Ingests shed because the write queue was full.
+    shed_ingests: int = 0
+    #: Wall-clock seconds between the first read and the last join.
+    elapsed_seconds: float = 0.0
+    #: Latency percentiles over admitted reads, milliseconds.
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    throughput_qps: float = 0.0
+    #: Worst staleness any admitted read observed (SLO accounting units).
+    max_staleness_rounds: int = 0
+    max_staleness_rows: int = 0
+    #: Worst staleness among *non-degraded* reads only — admission control
+    #: guarantees this never exceeds the view's SLO bound.
+    max_fresh_staleness_rounds: int = 0
+    max_fresh_staleness_rows: int = 0
+    #: Every distinct (view, version) relation served, with its as-of round.
+    served_versions: Dict[Tuple[str, int], Tuple[Relation, int]] = field(
+        default_factory=dict
+    )
+    #: Unexpected reader-thread errors (empty on a healthy run).
+    errors: List[str] = field(default_factory=list)
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def run_client_swarm(
+    session,
+    views: Sequence[str],
+    batches: Sequence[object],
+    *,
+    readers: int = 4,
+    read_policy: Optional[str] = None,
+    settle: bool = True,
+) -> SwarmResult:
+    """Run ``readers`` query threads against ``session`` while ingesting.
+
+    The calling thread ingests ``batches`` (each any shape ``ingest()``
+    accepts) and — with ``settle`` — flushes at the end; reader threads
+    query the given views round-robin as fast as admission control lets
+    them, until the producer is done.  Returns the aggregated
+    :class:`SwarmResult`.
+    """
+    from repro.api.errors import StaleReadError
+
+    if not views:
+        raise ValueError("run_client_swarm needs at least one view to query")
+    stop = Event()
+    mutex = Mutex()
+    result = SwarmResult()
+    latencies: List[float] = []
+
+    def reader(offset: int) -> None:
+        local_latencies: List[float] = []
+        local_queries = 0
+        local_degraded = 0
+        local_rejected = 0
+        local_rounds = 0
+        local_rows = 0
+        local_fresh_rounds = 0
+        local_fresh_rows = 0
+        local_versions: Dict[Tuple[str, int], Tuple[Relation, int]] = {}
+        position = offset
+        while not stop.is_set():
+            view = views[position % len(views)]
+            position += 1
+            started = time.perf_counter()
+            try:
+                served = session.query(view, read_policy=read_policy)
+            except StaleReadError:
+                local_rejected += 1
+                continue
+            except Exception as exc:  # surfaced daemon crash etc.
+                with mutex:
+                    result.errors.append(f"{type(exc).__name__}: {exc}")
+                return
+            local_latencies.append(time.perf_counter() - started)
+            local_queries += 1
+            if served.degraded:
+                local_degraded += 1
+            else:
+                local_fresh_rounds = max(local_fresh_rounds, served.staleness.rounds)
+                local_fresh_rows = max(local_fresh_rows, served.staleness.rows)
+            local_rounds = max(local_rounds, served.staleness.rounds)
+            local_rows = max(local_rows, served.staleness.rows)
+            local_versions[(view, served.version)] = (
+                served.relation,
+                served.as_of_round,
+            )
+        with mutex:
+            latencies.extend(local_latencies)
+            result.queries += local_queries
+            result.degraded += local_degraded
+            result.rejected += local_rejected
+            result.max_staleness_rounds = max(
+                result.max_staleness_rounds, local_rounds
+            )
+            result.max_staleness_rows = max(result.max_staleness_rows, local_rows)
+            result.max_fresh_staleness_rounds = max(
+                result.max_fresh_staleness_rounds, local_fresh_rounds
+            )
+            result.max_fresh_staleness_rows = max(
+                result.max_fresh_staleness_rows, local_fresh_rows
+            )
+            result.served_versions.update(local_versions)
+
+    threads = [
+        Thread(target=reader, args=(index,), name=f"swarm-reader-{index}", daemon=True)
+        for index in range(readers)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    try:
+        from repro.api.errors import ServingError
+
+        for batch in batches:
+            try:
+                session.ingest(batch)
+                result.ingested_rounds += 1
+            except ServingError:
+                result.shed_ingests += 1
+        if settle:
+            session.flush(timeout=120.0)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+    result.elapsed_seconds = time.perf_counter() - started
+    latencies.sort()
+    result.p50_ms = _percentile(latencies, 0.50) * 1000.0
+    result.p99_ms = _percentile(latencies, 0.99) * 1000.0
+    if result.elapsed_seconds > 0:
+        result.throughput_qps = result.queries / result.elapsed_seconds
+    return result

@@ -235,6 +235,28 @@ class StreamScheduler:
             return "defer", f"deferral saves ≈{saving:.1f}"
         return "defer", "within staleness bounds"
 
+    # --------------------------------------------------------------- override
+
+    def override_last(self, action: str, reason: str) -> TickDecision:
+        """Rewrite the latest verdict (a bound layered over the cost model).
+
+        The serving daemon uses this to turn a cost-based ``defer`` into a
+        ``refresh`` when a view's freshness SLO is violated: the SLO is a
+        hard bound *on top of* deferral economics, so the decision trace
+        must show the overridden verdict and the SLO reason — not pretend
+        the cost model chose to flush.
+        """
+        if action not in ("refresh", "defer"):
+            raise ValueError(f"unknown override action {action!r}")
+        if not self.decisions:
+            raise ValueError("no decision to override — nothing ingested yet")
+        decision = self.decisions[-1]
+        if decision.action != action:
+            reason = f"{reason} [overrides {decision.action}: {decision.reason}]"
+        decision.action = action
+        decision.reason = reason
+        return decision
+
     # ----------------------------------------------------------------- flush
 
     def take(self) -> List[DeltaStore]:

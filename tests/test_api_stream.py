@@ -337,3 +337,74 @@ def test_generated_ingests_never_delete_a_tuple_twice():
     assert report is not None
     assert all(wh.verify().values())
     session.close()
+
+
+# ------------------------------------------------- lifecycle mutual exclusion
+
+def test_close_is_idempotent():
+    wh = small_warehouse()
+    session = wh.stream()
+    session.ingest(0.02)
+    report = session.close()
+    assert report is not None, "the first close performs the final flush"
+    assert session.close() is None, "a second close is a no-op"
+    assert session.closed
+
+
+def test_flush_after_close_raises_deterministically():
+    wh = small_warehouse()
+    session = wh.stream()
+    session.ingest(0.02)
+    session.close()
+    with pytest.raises(StreamClosedError):
+        session.flush()
+
+
+def test_racing_flush_and_close_never_double_flush():
+    """A flush racing a close either completes or raises StreamClosedError.
+
+    The session mutex serializes the two, so whatever the interleaving the
+    pending rounds are applied exactly once — the database ends verified
+    and the flush/close reports account for every ingested round between
+    them, with no torn pending state.
+    """
+    import threading  # tests are outside the REPRO-L009 lint scope
+
+    wh = small_warehouse()
+    session = wh.stream()
+    for _ in range(3):
+        session.ingest(0.02)
+
+    barrier = threading.Barrier(2)
+    outcomes = {}
+
+    def do_flush():
+        barrier.wait()
+        try:
+            outcomes["flush"] = session.flush()
+        except StreamClosedError:
+            outcomes["flush"] = "closed"
+
+    def do_close():
+        barrier.wait()
+        outcomes["close"] = session.close()
+
+    flusher = threading.Thread(target=do_flush)
+    closer = threading.Thread(target=do_close)
+    flusher.start()
+    closer.start()
+    flusher.join(timeout=60.0)
+    closer.join(timeout=60.0)
+
+    assert session.closed
+    reports = [r for r in (outcomes.get("flush"), outcomes.get("close"))
+               if r not in (None, "closed")]
+    # Exactly one of the two applied the pending rounds (whichever won the
+    # mutex); the pending state is gone either way.
+    assert len(reports) == 1, outcomes
+    # Coalescing may merge the three ingested rounds into fewer flush rounds,
+    # but whoever won the mutex applied them all.
+    assert reports[0].rounds >= 1
+    assert reports[0].base_rows_applied > 0
+    assert session.pending_batches == 0
+    assert all(wh.verify().values())

@@ -224,3 +224,100 @@ def test_base_table_cardinality_tracks_updates_cheaply(star_database):
     histogram = refreshed.column("amount").histogram
     assert histogram is not None
     assert histogram.total == full.column("amount").histogram.total + 1
+
+
+# ---------------------------------------------------- vectorized delete path
+
+from repro.storage.columns import NumpyColumnStore, numpy_enabled  # noqa: E402
+from repro.storage.relation import multiset_subtract  # noqa: E402
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_enabled(), reason="numpy backend unavailable"
+)
+
+
+def _subtract_via_mask(names, rows, deletes):
+    """Run the columnar keep-mask; None means the row fallback was chosen."""
+    schema = Schema.from_names(names)
+    store = NumpyColumnStore.from_rows(rows, len(names))
+    keep = Database._vector_delete_mask(store, Relation(schema, deletes))
+    if keep is None:
+        return None
+    if keep is True:
+        return list(rows)
+    return [row for row, kept in zip(rows, keep) if kept]
+
+
+@needs_numpy
+def test_codes_mask_handles_string_only_keys():
+    # No numeric column to narrow on: the factorized-codes route must run
+    # (before this path, string-keyed views always fell back to Python rows).
+    rows = [("fr", "a"), ("de", "b"), ("fr", "a"), ("us", "c")]
+    deletes = [("fr", "a"), ("us", "c")]
+    assert _subtract_via_mask(["k", "v"], rows, deletes) == multiset_subtract(
+        rows, deletes
+    )
+
+
+@needs_numpy
+def test_codes_mask_removes_one_copy_per_match_in_first_match_order():
+    rows = [("x", 1), ("x", 1), ("x", 1), ("y", 2)]
+    deletes = [("x", 1), ("x", 1)]
+    result = _subtract_via_mask(["k", "n"], rows, deletes)
+    assert result == multiset_subtract(rows, deletes)
+    assert result == [("x", 1), ("y", 2)]
+
+
+@needs_numpy
+def test_codes_mask_over_delete_removes_every_copy():
+    rows = [("x", 1), ("x", 1)]
+    deletes = [("x", 1)] * 5
+    assert _subtract_via_mask(["k", "n"], rows, deletes) == []
+
+
+@needs_numpy
+def test_codes_mask_matches_ints_against_floats():
+    # multiset_subtract hashes 1 == 1.0 equal; dtype promotion inside the
+    # codes route must agree.
+    rows = [(1, "a"), (2, "b"), (3, "c")]
+    deletes = [(1.0, "a")]
+    assert _subtract_via_mask(["n", "v"], rows, deletes) == multiset_subtract(
+        rows, deletes
+    )
+
+
+@needs_numpy
+def test_codes_mask_falls_back_on_none_values():
+    # None beside strings makes an object column np.unique cannot order:
+    # the vector path must bow out, not crash or guess.
+    rows = [("a", None), ("b", "x")]
+    deletes = [("a", None)]
+    assert _subtract_via_mask(["k", "v"], rows, deletes) is None
+
+
+@needs_numpy
+def test_codes_mask_falls_back_on_nan_probes():
+    # NaN breaks equality-by-value; first-match semantics are undefined for
+    # it in array form, so the row path (object identity) must decide.
+    rows = [(1.5, "a"), (2.5, "b")]
+    deletes = [(float("nan"), "a")]
+    schema = Schema.from_names(["n", "v"])
+    store = NumpyColumnStore.from_rows(rows, 2)
+    assert Database._vector_codes_mask(store, Relation(schema, deletes)) is None
+
+
+@needs_numpy
+def test_codes_route_taken_when_narrowing_stays_wide():
+    # Every row shares the numeric value, so isin-narrowing cannot shrink
+    # the candidate set; the codes route must still subtract exactly.
+    rows = [(7, f"s{i % 3}") for i in range(64)]
+    deletes = [(7, "s0"), (7, "s1")]
+    assert _subtract_via_mask(["n", "v"], rows, deletes) == multiset_subtract(
+        rows, deletes
+    )
+
+
+@needs_numpy
+def test_vector_mask_empty_delta_keeps_everything():
+    rows = [("a", 1), ("b", 2)]
+    assert _subtract_via_mask(["k", "n"], rows, []) == rows

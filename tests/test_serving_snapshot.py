@@ -1,0 +1,174 @@
+"""Snapshot isolation: versioned COW view snapshots and pinned readers.
+
+The unit half exercises :class:`~repro.serving.SnapshotManager` mechanics
+directly (publish / pin / retire accounting).  The property half is the
+serving layer's core guarantee, end to end: a reader pinned at version *v*
+keeps observing bag-identical view contents no matter how many refresh
+commits land concurrently — under both column backends and under the
+``REPRO_WORKERS=2`` sharded executor.
+"""
+
+import pytest
+
+from repro import Q, Warehouse, WarehouseConfig
+from repro.catalog.schema import Schema
+from repro.serving import SnapshotError, SnapshotManager
+from repro.storage.columns import available_backends, forced_backend
+from repro.storage.relation import Relation
+
+SCHEMA = Schema.from_names(["k", "v"])
+BACKENDS = available_backends()
+
+
+def rel(rows):
+    return Relation(SCHEMA, rows)
+
+
+# ------------------------------------------------------------------ mechanics
+
+def test_pin_before_first_publish_raises():
+    manager = SnapshotManager()
+    with pytest.raises(SnapshotError, match="no snapshot published"):
+        manager.pin()
+    assert manager.current_version == 0
+    assert manager.current_round == 0
+
+
+def test_publish_assigns_monotonic_versions_and_rounds():
+    manager = SnapshotManager()
+    assert manager.publish({"v": rel([(1, 1)])}, as_of_round=0) == 1
+    assert manager.publish({"v": rel([(1, 1), (2, 2)])}, as_of_round=2) == 2
+    assert manager.current_version == 2
+    assert manager.current_round == 2
+
+
+def test_pinned_handle_is_immune_to_later_publishes():
+    manager = SnapshotManager()
+    first = rel([(1, 1)])
+    manager.publish({"v": first}, as_of_round=0)
+    handle = manager.pin()
+    manager.publish({"v": rel([(9, 9)])}, as_of_round=1)
+    manager.publish({"v": rel([(8, 8)])}, as_of_round=2)
+    assert handle.version == 1
+    assert handle.as_of_round == 0
+    assert handle.view("v") is first
+    handle.close()
+    fresh = manager.pin()
+    assert fresh.version == 3
+    assert fresh.view("v").rows == [(8, 8)]
+    fresh.close()
+
+
+def test_unpinned_superseded_version_is_retired_immediately():
+    manager = SnapshotManager()
+    manager.publish({"v": rel([(1, 1)])}, as_of_round=0)
+    manager.publish({"v": rel([(2, 2)])}, as_of_round=1)
+    stats = manager.stats()
+    assert stats.published == 2
+    assert stats.retired == 1
+    assert stats.live_versions == 1
+
+
+def test_pinned_version_survives_until_last_reader_unpins():
+    manager = SnapshotManager()
+    manager.publish({"v": rel([(1, 1)])}, as_of_round=0)
+    first = manager.pin()
+    second = manager.pin()
+    manager.publish({"v": rel([(2, 2)])}, as_of_round=1)
+    assert manager.stats().live_versions == 2
+    assert manager.stats().pinned_readers == 2
+    first.close()
+    assert manager.stats().live_versions == 2, "one reader still pinned"
+    second.close()
+    stats = manager.stats()
+    assert stats.live_versions == 1
+    assert stats.retired == 1
+    assert stats.pinned_readers == 0
+
+
+def test_closed_handle_refuses_reads_and_close_is_idempotent():
+    manager = SnapshotManager()
+    manager.publish({"v": rel([(1, 1)])}, as_of_round=0)
+    with manager.pin() as handle:
+        assert not handle.closed
+        assert handle.view_names == ["v"]
+    assert handle.closed
+    handle.close()  # idempotent — must not double-unpin
+    with pytest.raises(SnapshotError, match="closed"):
+        handle.view("v")
+    assert manager.stats().pinned_readers == 0
+
+
+def test_unknown_view_through_handle_names_the_served_views():
+    manager = SnapshotManager()
+    manager.publish({"v": rel([])}, as_of_round=0)
+    with manager.pin() as handle:
+        with pytest.raises(SnapshotError, match="does not serve view 'nope'"):
+            handle.view("nope")
+
+
+def test_publish_event_wakes_blocked_waiters():
+    manager = SnapshotManager()
+    manager.publish({"v": rel([])}, as_of_round=0)
+    with manager.published_event:
+        manager_version = manager._current.version
+        assert manager_version == 1
+    manager.publish({"v": rel([])}, as_of_round=1)
+    with manager.published_event:
+        # wait() with a timeout returns promptly since nothing is pending;
+        # the interesting part — notify on publish — is covered end-to-end
+        # by the block-policy serving tests.
+        manager.published_event.wait(timeout=0.001)
+    assert manager.current_version == 2
+
+
+# ------------------------------------------------- pinned-reader bag identity
+
+def serving_warehouse(workers):
+    wh = Warehouse(WarehouseConfig.profile("fast", workers=workers))
+    wh.load(scale=0.05)
+    wh.load_data(scale=0.002)
+    wh.define_view(
+        "v_rev",
+        Q.table("lineitem").join("orders").join("customer").join("nation")
+        .group_by("n_name")
+        .sum("l_extendedprice", "revenue"),
+    )
+    wh.optimize()
+    wh.apply(0.0)
+    return wh
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("workers", [1, 2])
+def test_pinned_reader_is_bag_identical_across_refresh_commits(backend, workers):
+    """The serving layer's core property, per backend and worker count.
+
+    A reader pins version *v*, remembers the exact bag it saw, and keeps
+    re-reading through the handle while refresh commits publish newer
+    versions concurrently.  Every re-read must be bag-identical to the
+    remembered contents, and the final unpinned read must differ (the
+    stream really did change the view).
+    """
+    with forced_backend(backend):
+        wh = serving_warehouse(workers)
+        with wh.serve(read_policy="serve-stale") as session:
+            pinned = session.pin()
+            baseline = Relation(pinned.view("v_rev").schema, pinned.view("v_rev").rows)
+            version = pinned.version
+            for _ in range(3):
+                session.ingest(0.02)
+                session.flush(timeout=60.0)
+                assert session.current_version > version
+                observed = pinned.view("v_rev")
+                assert observed.same_bag(baseline), (
+                    "a pinned reader observed view contents change under it"
+                )
+                assert pinned.version == version
+            fresh = session.query("v_rev")
+            assert fresh.version > version
+            assert not fresh.relation.same_bag(baseline), (
+                "three churn rounds left the aggregate view unchanged — the "
+                "property test is not exercising refresh"
+            )
+            pinned.close()

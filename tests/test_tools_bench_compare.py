@@ -116,3 +116,67 @@ def test_fail_under_without_wall_clock_entries_is_an_error(tmp_path, capsys):
     assert bench_compare.main([str(a), str(b)]) == 0
     assert bench_compare.main([str(a), str(b), "--fail-under", "0.5"]) == 1
     assert "no wall-clock entries" in capsys.readouterr().err
+
+
+def test_ms_entries_report_speedup(tmp_path):
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    a.mkdir()
+    b.mkdir()
+    # The serving benchmark's latency percentiles use the _ms spelling:
+    # still wall-clock, still baseline/current.
+    _write(a / "BENCH_serving.json", {"timing": {"p99_ms": 40.0, "throughput_qps": 100.0}})
+    _write(b / "BENCH_serving.json", {"timing": {"p99_ms": 10.0, "throughput_qps": 150.0}})
+    rows = {entry: ratio for entry, _, _, ratio in bench_compare.compare_trees(str(a), str(b))}
+    assert rows["BENCH_serving.json:timing.p99_ms"] == pytest.approx(4.0)
+    # Throughput is not a wall time: plain change factor.
+    assert rows["BENCH_serving.json:timing.throughput_qps"] == pytest.approx(1.5)
+
+
+def test_sub_millisecond_cells_excluded_from_gate(tmp_path, capsys):
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    a.mkdir()
+    b.mkdir()
+    # p50 regresses 9x but both sides are sub-millisecond — pure scheduler
+    # jitter, must not fail the gate.  The honest multi-second entry rules.
+    _write(
+        a / "BENCH_serving.json",
+        {"timing": {"p50_ms": 0.1, "elapsed_seconds": 4.0}},
+    )
+    _write(
+        b / "BENCH_serving.json",
+        {"timing": {"p50_ms": 0.9, "elapsed_seconds": 4.0}},
+    )
+    assert bench_compare.main([str(a), str(b), "--fail-under", "0.8"]) == 0
+    out = capsys.readouterr().out
+    assert "1 sub-millisecond entry excluded from the gate" in out
+    # The excluded cell is still printed, marked with ~.
+    assert "p50_ms" in out
+    geomean_line = [line for line in out.splitlines() if "geometric-mean" in line]
+    assert "1 timing entries" in geomean_line[0]
+
+
+def test_sub_millisecond_floor_uses_the_key_unit(tmp_path):
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    a.mkdir()
+    b.mkdir()
+    # 0.5 in _seconds is 500ms (gated); 0.5 in _ms is half a millisecond
+    # (excluded).  Same number, different unit, different verdict.
+    _write(a / "BENCH_x.json", {"timing": {"p50_ms": 0.5, "run_seconds": 0.5}})
+    _write(b / "BENCH_x.json", {"timing": {"p50_ms": 0.5, "run_seconds": 0.1}})
+    assert bench_compare.main([str(a), str(b), "--fail-under", "0.8"]) == 0
+    assert bench_compare._sub_millisecond("timing.p50_ms", 0.5, 0.5)
+    assert not bench_compare._sub_millisecond("timing.run_seconds", 0.5, 0.1)
+
+
+def test_gate_passes_loudly_when_everything_is_sub_millisecond(tmp_path, capsys):
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    a.mkdir()
+    b.mkdir()
+    _write(a / "BENCH_tiny.json", {"timing": {"p50_ms": 0.2}})
+    _write(b / "BENCH_tiny.json", {"timing": {"p50_ms": 0.4}})
+    assert bench_compare.main([str(a), str(b), "--fail-under", "0.8"]) == 0
+    assert "nothing to" in capsys.readouterr().err

@@ -125,6 +125,32 @@ def test_l008_multiprocessing_confined_to_parallel(tmp_path):
     ) == []
 
 
+def test_l009_threading_confined_to_serving_and_parallel(tmp_path):
+    source = "import threading\n\nprint(threading.active_count())\n"
+    findings = lint_source(tmp_path, source, "repro/engine/operators.py")
+    assert codes_of(findings) == ["REPRO-L009"]
+    assert "repro.serving.sync" in findings[0].message
+    # ``from threading import ...`` is the same violation.
+    assert "REPRO-L009" in codes_of(
+        lint_source(
+            tmp_path,
+            "from threading import Lock\n\nprint(Lock)\n",
+            "repro/api/stream.py",
+        )
+    )
+    # The two sanctioned homes are exempt.
+    assert codes_of(lint_source(tmp_path, source, "repro/serving/sync.py")) == []
+    assert codes_of(lint_source(tmp_path, source, "repro/parallel/pool.py")) == []
+    # The usual escape hatch applies.
+    assert codes_of(
+        lint_source(
+            tmp_path,
+            "import threading  # lint: allow(L009)\n\nprint(threading)\n",
+            "repro/engine/operators.py",
+        )
+    ) == []
+
+
 def test_inline_suppression(tmp_path):
     assert codes_of(lint_source(tmp_path, "import os  # lint: allow(L006)\n")) == []
     assert codes_of(
@@ -154,7 +180,7 @@ def test_repository_lints_clean():
 
 def test_linter_codes_are_documented():
     """Every code the linter can emit appears in the shared CODES table."""
-    emitted = {f"REPRO-L00{i}" for i in range(1, 9)}
+    emitted = {f"REPRO-L00{i}" for i in range(1, 10)}
     assert emitted <= set(CODES)
     for code in emitted:
         assert CODES[code], code

@@ -8,8 +8,10 @@ pairs two such trees — typically a baseline checkout's ``results/``
 directory against the working tree's — and prints one line per shared
 timing entry:
 
-* keys ending in ``_seconds`` are wall times, reported as a **speedup**
-  (baseline / current; > 1 means the current tree is faster);
+* keys ending in ``_seconds`` or ``_ms`` are wall times, reported as a
+  **speedup** (baseline / current; > 1 means the current tree is faster) —
+  the ``_ms`` spelling is what latency percentiles (``p50_ms`` / ``p99_ms``
+  in ``BENCH_serving.json``) use;
 * every other numeric key (speedup gates, ratios, throughputs) is reported
   as the plain change factor (current / baseline).
 
@@ -26,6 +28,9 @@ all — a wiring error in CI, not a benchmark regression.
 geometric-mean speedup over all shared wall-clock entries falls below the
 given ratio, the exit status is non-zero.  A floor of ``0.8`` tolerates
 ~20% noise on shared CI runners while still catching real slowdowns.
+Sub-millisecond cells (either side below 1 ms) are shown but excluded from
+the geomean: at that scale scheduler jitter dwarfs the measurement, and a
+noise-driven 0.3 ms → 0.9 ms swing must not fail the gate on its own.
 """
 
 from __future__ import annotations
@@ -52,6 +57,22 @@ def _timing_entries(payload, path: str = "") -> Iterator[Tuple[str, float]]:
     elif isinstance(payload, list):
         for index, item in enumerate(payload):
             yield from _timing_entries(item, f"{path}[{index}]")
+
+
+def _is_wall_clock(entry: str) -> bool:
+    """Whether a timing key records a wall-clock duration (ratio = speedup)."""
+    leaf = entry.rsplit(".", 1)[-1]
+    return leaf.endswith("_seconds") or leaf.endswith("_ms")
+
+
+def _sub_millisecond(entry: str, old_value: float, new_value: float) -> bool:
+    """Whether either side of a wall-clock cell is below one millisecond.
+
+    Such cells are noise-dominated on shared runners and are excluded from
+    the geomean gate (still printed, marked ``~``).
+    """
+    floor = 1.0 if entry.rsplit(".", 1)[-1].endswith("_ms") else 0.001
+    return old_value < floor or new_value < floor
 
 
 def _load(path: str) -> Dict[str, dict]:
@@ -93,7 +114,7 @@ def compare_trees(baseline: str, current: str) -> List[Tuple[str, float, float, 
         for entry in sorted(set(old_entries) & set(new_entries)):
             old_value = old_entries[entry]
             new_value = new_entries[entry]
-            if entry.rsplit(".", 1)[-1].endswith("_seconds"):
+            if _is_wall_clock(entry):
                 ratio = old_value / new_value if new_value else math.inf
             else:
                 ratio = new_value / old_value if old_value else math.inf
@@ -123,17 +144,39 @@ def main(argv=None) -> int:
     width = max(len(entry) for entry, *_ in rows)
     print(f"{'entry'.ljust(width)}  {'baseline':>12}  {'current':>12}  {'ratio':>8}")
     speedups = []
+    ignored = 0
     for entry, old_value, new_value, ratio in rows:
-        marker = "x" if entry.endswith("_seconds") else "·"
+        wall_clock = _is_wall_clock(entry)
+        if not wall_clock:
+            marker = "·"
+        elif _sub_millisecond(entry, old_value, new_value):
+            marker = "~"  # sub-millisecond: printed, excluded from the gate
+        else:
+            marker = "x"
         print(f"{entry.ljust(width)}  {old_value:12.6g}  {new_value:12.6g}  {ratio:7.2f}{marker}")
-        if entry.endswith("_seconds") and math.isfinite(ratio) and ratio > 0:
-            speedups.append(ratio)
+        if wall_clock and math.isfinite(ratio) and ratio > 0:
+            if _sub_millisecond(entry, old_value, new_value):
+                ignored += 1
+            else:
+                speedups.append(ratio)
     geomean = None
     if speedups:
         geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
         print(f"\ngeometric-mean speedup over {len(speedups)} timing entries: {geomean:.2f}x")
+        if ignored:
+            print(f"({ignored} sub-millisecond entr{'y' if ignored == 1 else 'ies'} excluded from the gate)")
     if args.fail_under is not None:
         if geomean is None:
+            if ignored:
+                # Every shared wall-clock cell was sub-millisecond: nothing
+                # the gate could meaningfully judge — pass, loudly.
+                print(
+                    f"bench_compare: all {ignored} wall-clock entries are "
+                    f"sub-millisecond; the --fail-under gate has nothing to "
+                    f"judge and passes",
+                    file=sys.stderr,
+                )
+                return 0
             # A gate over zero wall-clock entries would vacuously pass —
             # treat it as the same wiring error as two disjoint trees.
             print(

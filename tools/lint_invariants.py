@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""AST lints encoding this repository's engine invariants (REPRO-L001..L008).
+"""AST lints encoding this repository's engine invariants (REPRO-L001..L009).
 
 The invariants below were established in prose across earlier changes; this
 tool makes them machine-checked so they cannot erode silently:
@@ -27,6 +27,11 @@ tool makes them machine-checked so they cannot erode silently:
   ``concurrent.futures``) is confined to ``src/repro/parallel/``; every
   other layer stays deterministic and single-process, taking parallelism
   only through the :class:`~repro.parallel.ShardPool` interface.
+* **REPRO-L009** — ``threading`` is imported only inside
+  ``src/repro/serving/`` and ``src/repro/parallel/``; everything else
+  borrows primitives from the ``repro.serving.sync`` re-export (the same
+  pattern as the numpy re-export), so concurrency stays auditable in two
+  packages and the engine layers cannot quietly grow threads.
 
 Usage::
 
@@ -64,11 +69,16 @@ TIMING_ALLOWLIST: Tuple[str, ...] = (
     "repro/maintenance/greedy.py",
     "repro/maintenance/optimizer.py",
     "repro/parallel/capacity.py",
+    "repro/serving/",
 )
 #: The one package allowed to spawn processes (posix-style path prefix).
 PARALLEL_PACKAGE = "repro/parallel/"
 #: Module roots that imply process-level parallelism (L008).
 _PARALLEL_MODULES = ("multiprocessing", "concurrent")
+#: The packages allowed to import threading (posix-style path prefixes):
+#: the serving tier (whose ``sync`` module re-exports the primitives) and
+#: the parallel substrate.
+THREADING_PACKAGES: Tuple[str, ...] = ("repro/serving/", "repro/parallel/")
 #: Methods that mutate a list in place (for the L003 ``.rows`` check).
 _LIST_MUTATORS = frozenset(
     {"append", "extend", "insert", "pop", "clear", "remove", "sort", "reverse"}
@@ -217,6 +227,33 @@ def _check_process_parallelism(tree: ast.Module, path: Path) -> List[Finding]:
                     "process-level parallelism imported outside "
                     "src/repro/parallel/ — go through repro.parallel.ShardPool "
                     "so sharding, merging and verification stay in one place",
+                )
+            )
+    return findings
+
+
+def _check_threading_imports(tree: ast.Module, path: Path) -> List[Finding]:
+    if any(_matches(path, prefix) for prefix in THREADING_PACKAGES):
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        names: List[str] = []
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            names = [node.module]
+        if any(
+            name == "threading" or name.startswith("threading.") for name in names
+        ):
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    "REPRO-L009",
+                    "threading imported outside src/repro/serving/ and "
+                    "src/repro/parallel/ — take primitives from the "
+                    "repro.serving.sync re-export so concurrency stays "
+                    "confined to the serving and parallel tiers",
                 )
             )
     return findings
@@ -406,6 +443,7 @@ _CHECKS = (
     _check_numpy_imports,
     _check_wall_clock,
     _check_process_parallelism,
+    _check_threading_imports,
     _check_relation_mutation,
     _check_mutable_defaults,
     _check_dunder_all,
